@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analog simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// Malformed netlist: unknown node, device between identical nodes,
+    /// non-positive element value, or a driven node used where a free node
+    /// is required.
+    Netlist {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Newton iteration failed to converge even at the minimum step size.
+    NewtonFailed {
+        /// Simulation time at which convergence was lost.
+        at: f64,
+        /// Final residual max-norm, in amperes.
+        residual: f64,
+    },
+    /// The requested measurement could not be taken (e.g. the output never
+    /// crossed the threshold in the simulated window).
+    Measurement {
+        /// Description of the missing feature.
+        reason: String,
+    },
+    /// An underlying numeric routine failed.
+    Numeric(mis_num::NumError),
+    /// An underlying linear solve failed (singular nodal matrix — usually
+    /// a floating subcircuit).
+    Linalg(mis_linalg::LinalgError),
+    /// Waveform construction or analysis failed.
+    Waveform(mis_waveform::WaveformError),
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::Netlist { reason } => write!(f, "netlist error: {reason}"),
+            AnalogError::NewtonFailed { at, residual } => write!(
+                f,
+                "newton failed to converge at t = {at:.3e} s (residual {residual:.3e} A)"
+            ),
+            AnalogError::Measurement { reason } => write!(f, "measurement failed: {reason}"),
+            AnalogError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            AnalogError::Linalg(e) => write!(f, "linear solve failure: {e}"),
+            AnalogError::Waveform(e) => write!(f, "waveform failure: {e}"),
+        }
+    }
+}
+
+impl Error for AnalogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalogError::Numeric(e) => Some(e),
+            AnalogError::Linalg(e) => Some(e),
+            AnalogError::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mis_num::NumError> for AnalogError {
+    fn from(e: mis_num::NumError) -> Self {
+        AnalogError::Numeric(e)
+    }
+}
+
+impl From<mis_linalg::LinalgError> for AnalogError {
+    fn from(e: mis_linalg::LinalgError) -> Self {
+        AnalogError::Linalg(e)
+    }
+}
+
+impl From<mis_waveform::WaveformError> for AnalogError {
+    fn from(e: mis_waveform::WaveformError) -> Self {
+        AnalogError::Waveform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = AnalogError::NewtonFailed {
+            at: 1e-9,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("newton"));
+        let e = AnalogError::Netlist {
+            reason: "unknown node".into(),
+        };
+        assert!(e.to_string().contains("unknown node"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e = AnalogError::from(mis_linalg::LinalgError::Singular { pivot: 1 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,317 @@
+//! A smooth EKV-style MOSFET compact model with analytic derivatives.
+//!
+//! The channel current uses the symmetric forward/reverse interpolation
+//!
+//! ```text
+//! I_DS = 2·n·K·φ_t² · [ F(V_GS) − F(V_GD) ],   F(v) = ln²(1 + e^{(v−V_T)/(2nφ_t)})
+//! ```
+//!
+//! which is continuous and infinitely differentiable across sub-threshold,
+//! triode and saturation — exactly what a Newton solver wants — while
+//! reproducing the square-law strong-inversion limit
+//! `I_D ≈ K/(2n)·(V_GS−V_T)²` and exponential sub-threshold conduction.
+//! pMOS devices are handled by odd symmetry
+//! (`I_p(vg,vd,vs) = −I_n(−vg,−vd,−vs)`).
+//!
+//! No attempt is made to model FinFET electrostatics in detail; the paper
+//! uses the transistor only as a threshold-switched conductance with
+//! realistic edges, and the hybrid model abstracts even that to an ideal
+//! switch. What matters for the MIS physics is (a) a gate-voltage-dependent
+//! channel conductance with a realistic transition around `V_T` and (b) the
+//! coupling capacitances, which the NOR netlist adds explicitly.
+
+use crate::AnalogError;
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// n-channel: conducts when the gate is *above* source by `V_T`.
+    Nmos,
+    /// p-channel: conducts when the gate is *below* source by `V_T`.
+    Pmos,
+}
+
+/// EKV-style MOSFET parameters.
+///
+/// # Examples
+///
+/// ```
+/// use mis_analog::{MosParams, MosPolarity};
+///
+/// let m = MosParams::new(MosPolarity::Nmos, 2e-4, 0.25);
+/// // Fully on at V_GS = 0.8 V: drain current flows D→S for V_DS > 0.
+/// let i = m.ids(0.8, 0.4, 0.0);
+/// assert!(i > 0.0);
+/// // Symmetric channel: swapping D and S flips the sign.
+/// let i_rev = m.ids(0.8, 0.0, 0.4) + i;
+/// assert!(i_rev.abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Polarity (n- or p-channel).
+    pub polarity: MosPolarity,
+    /// Transconductance factor `K` (A/V²), absorbing `µ·C_ox·W/L`.
+    pub kp: f64,
+    /// Threshold voltage magnitude `V_T` (positive for both polarities), V.
+    pub vt0: f64,
+    /// Sub-threshold slope factor `n` (dimensionless, ≈ 1.2–1.5).
+    pub n: f64,
+    /// Thermal voltage `φ_t` (V), ≈ 25.9 mV at 300 K.
+    pub phi_t: f64,
+}
+
+impl MosParams {
+    /// Creates a device with slope factor 1.3 and room-temperature `φ_t`.
+    #[must_use]
+    pub fn new(polarity: MosPolarity, kp: f64, vt0: f64) -> Self {
+        MosParams {
+            polarity,
+            kp,
+            vt0,
+            n: 1.3,
+            phi_t: 0.02585,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::Netlist`] for non-positive `kp`, `n`,
+    /// `phi_t`, or a negative threshold.
+    pub fn validate(&self) -> Result<(), AnalogError> {
+        for (name, v) in [("kp", self.kp), ("n", self.n), ("phi_t", self.phi_t)] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(AnalogError::Netlist {
+                    reason: format!("mosfet {name} must be positive (got {v:e})"),
+                });
+            }
+        }
+        if !(self.vt0 >= 0.0) || !self.vt0.is_finite() {
+            return Err(AnalogError::Netlist {
+                reason: format!("mosfet vt0 must be non-negative (got {:e})", self.vt0),
+            });
+        }
+        Ok(())
+    }
+
+    /// Drain→source channel current for terminal voltages `(vg, vd, vs)`.
+    #[must_use]
+    pub fn ids(&self, vg: f64, vd: f64, vs: f64) -> f64 {
+        match self.polarity {
+            MosPolarity::Nmos => self.ids_n(vg, vd, vs),
+            MosPolarity::Pmos => -self.ids_n(-vg, -vd, -vs),
+        }
+    }
+
+    /// Current plus the analytic partial derivatives
+    /// `(I, ∂I/∂vg, ∂I/∂vd, ∂I/∂vs)`.
+    #[must_use]
+    pub fn ids_derivs(&self, vg: f64, vd: f64, vs: f64) -> (f64, f64, f64, f64) {
+        match self.polarity {
+            MosPolarity::Nmos => self.ids_derivs_n(vg, vd, vs),
+            MosPolarity::Pmos => {
+                let (i, dg, dd, ds) = self.ids_derivs_n(-vg, -vd, -vs);
+                // I_p(x) = −I_n(−x) ⟹ ∂I_p/∂x = +∂I_n/∂x|₋ₓ.
+                (-i, dg, dd, ds)
+            }
+        }
+    }
+
+    /// Small-signal on-resistance at `V_GS = vgs`, `V_DS → 0` (used for
+    /// calibration against the hybrid model's switch resistances).
+    #[must_use]
+    pub fn on_resistance(&self, vgs: f64) -> f64 {
+        // Numerical two-sided derivative of I(vds) at 0 with a tiny probe.
+        let dv = 1e-6;
+        let (vg, vs) = match self.polarity {
+            MosPolarity::Nmos => (vgs, 0.0),
+            MosPolarity::Pmos => (-vgs, 0.0),
+        };
+        let ip = self.ids(vg, dv, vs);
+        let im = self.ids(vg, -dv, vs);
+        let g = (ip - im) / (2.0 * dv);
+        1.0 / g.abs().max(1e-30)
+    }
+
+    fn half(&self, v_ctrl: f64) -> (f64, f64) {
+        // F(v) = ln²(1 + e^{(v−VT)/(2nφt)}) and dF/dv.
+        let s = 2.0 * self.n * self.phi_t;
+        let x = (v_ctrl - self.vt0) / s;
+        // Numerically safe softplus.
+        let softplus = if x > 30.0 {
+            x
+        } else {
+            x.exp().ln_1p()
+        };
+        let sigmoid = if x > 30.0 {
+            1.0
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        };
+        let f = softplus * softplus;
+        let dfdv = 2.0 * softplus * sigmoid / s;
+        (f, dfdv)
+    }
+
+    fn ids_n(&self, vg: f64, vd: f64, vs: f64) -> f64 {
+        let scale = 2.0 * self.n * self.kp * self.phi_t * self.phi_t;
+        let (ff, _) = self.half(vg - vs);
+        let (fr, _) = self.half(vg - vd);
+        scale * (ff - fr)
+    }
+
+    fn ids_derivs_n(&self, vg: f64, vd: f64, vs: f64) -> (f64, f64, f64, f64) {
+        let scale = 2.0 * self.n * self.kp * self.phi_t * self.phi_t;
+        let (ff, dff) = self.half(vg - vs);
+        let (fr, dfr) = self.half(vg - vd);
+        let i = scale * (ff - fr);
+        let dg = scale * (dff - dfr);
+        let dd = scale * dfr;
+        let ds = -scale * dff;
+        (i, dg, dd, ds)
+    }
+}
+
+/// Calibrates the transconductance factor `K` so the device's
+/// [`MosParams::on_resistance`] at `V_GS = vgs_on` equals `target_ohms`.
+///
+/// The on-resistance is inversely proportional to `K`, so the calibration
+/// is a single exact rescale.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::Netlist`] for a non-positive target.
+///
+/// # Examples
+///
+/// ```
+/// use mis_analog::{MosParams, MosPolarity};
+///
+/// # fn main() -> Result<(), mis_analog::AnalogError> {
+/// let m = mis_analog::mosfet_calibrated(
+///     MosParams::new(MosPolarity::Nmos, 1e-4, 0.25), 45.0e3, 0.8)?;
+/// assert!((m.on_resistance(0.8) - 45.0e3).abs() / 45.0e3 < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mosfet_calibrated(
+    mut base: MosParams,
+    target_ohms: f64,
+    vgs_on: f64,
+) -> Result<MosParams, AnalogError> {
+    base.validate()?;
+    if !(target_ohms > 0.0) {
+        return Err(AnalogError::Netlist {
+            reason: format!("target on-resistance must be positive (got {target_ohms:e})"),
+        });
+    }
+    let r_now = base.on_resistance(vgs_on);
+    base.kp *= r_now / target_ohms;
+    Ok(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosParams {
+        MosParams::new(MosPolarity::Nmos, 2e-4, 0.25)
+    }
+
+    fn pmos() -> MosParams {
+        MosParams::new(MosPolarity::Pmos, 2e-4, 0.25)
+    }
+
+    #[test]
+    fn cutoff_current_is_negligible() {
+        let m = nmos();
+        let i = m.ids(0.0, 0.8, 0.0);
+        // Sub-threshold leakage at vgs = 0, vt = 0.25: orders below on-current.
+        let i_on = m.ids(0.8, 0.8, 0.0);
+        assert!(i.abs() < 1e-3 * i_on, "leak {i:e} vs on {i_on:e}");
+    }
+
+    #[test]
+    fn channel_symmetry() {
+        let m = nmos();
+        assert!((m.ids(0.6, 0.3, 0.1) + m.ids(0.6, 0.1, 0.3)).abs() < 1e-15);
+        assert_eq!(m.ids(0.6, 0.2, 0.2), 0.0);
+    }
+
+    #[test]
+    fn saturation_current_square_law_limit() {
+        // Strong inversion, saturated: I ≈ K/(2n)·(vgs−vt)².
+        let m = nmos();
+        let i = m.ids(0.8, 0.8, 0.0);
+        let expected = m.kp / (2.0 * m.n) * (0.8 - m.vt0) * (0.8 - m.vt0);
+        assert!(
+            (i - expected).abs() / expected < 0.1,
+            "{i:e} vs square-law {expected:e}"
+        );
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let (n, p) = (nmos(), pmos());
+        // pMOS with source at 0.8, gate at 0, drain at 0.4 conducts
+        // source→drain: ids (d→s) negative.
+        let ip = p.ids(0.0, 0.4, 0.8);
+        assert!(ip < 0.0, "conducting pMOS pulls drain up: {ip:e}");
+        let i_n = n.ids(0.8, 0.4, 0.0);
+        assert!((ip + i_n).abs() < 1e-15, "exact mirror symmetry");
+        // Off pMOS: gate at source.
+        let i_off = p.ids(0.8, 0.0, 0.8);
+        assert!(i_off.abs() < 1e-3 * ip.abs());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        for m in [nmos(), pmos()] {
+            let (vg, vd, vs) = (0.55, 0.3, 0.05);
+            let (_, dg, dd, ds) = m.ids_derivs(vg, vd, vs);
+            let h = 1e-7;
+            let fd_g = (m.ids(vg + h, vd, vs) - m.ids(vg - h, vd, vs)) / (2.0 * h);
+            let fd_d = (m.ids(vg, vd + h, vs) - m.ids(vg, vd - h, vs)) / (2.0 * h);
+            let fd_s = (m.ids(vg, vd, vs + h) - m.ids(vg, vd, vs - h)) / (2.0 * h);
+            let scale = dg.abs().max(dd.abs()).max(ds.abs()).max(1e-12);
+            assert!((dg - fd_g).abs() < 1e-5 * scale, "{:?} dg", m.polarity);
+            assert!((dd - fd_d).abs() < 1e-5 * scale, "{:?} dd", m.polarity);
+            assert!((ds - fd_s).abs() < 1e-5 * scale, "{:?} ds", m.polarity);
+        }
+    }
+
+    #[test]
+    fn large_bias_is_numerically_safe() {
+        let m = nmos();
+        let i = m.ids(5.0, 5.0, 0.0);
+        assert!(i.is_finite() && i > 0.0);
+        let (_, dg, dd, ds) = m.ids_derivs(5.0, 5.0, 0.0);
+        assert!(dg.is_finite() && dd.is_finite() && ds.is_finite());
+    }
+
+    #[test]
+    fn calibration_hits_target_exactly() {
+        let m = mosfet_calibrated(nmos(), 45.0e3, 0.8).unwrap();
+        let r = m.on_resistance(0.8);
+        assert!((r - 45.0e3).abs() / 45.0e3 < 1e-9, "r = {r}");
+        let mp = mosfet_calibrated(pmos(), 37.0e3, 0.8).unwrap();
+        assert!((mp.on_resistance(0.8) - 37.0e3).abs() / 37.0e3 < 1e-9);
+    }
+
+    #[test]
+    fn calibration_rejects_bad_target() {
+        assert!(mosfet_calibrated(nmos(), 0.0, 0.8).is_err());
+        let mut bad = nmos();
+        bad.kp = -1.0;
+        assert!(mosfet_calibrated(bad, 1e3, 0.8).is_err());
+    }
+
+    #[test]
+    fn on_resistance_decreases_with_gate_drive() {
+        let m = nmos();
+        assert!(m.on_resistance(0.8) < m.on_resistance(0.5));
+        assert!(m.on_resistance(0.5) < m.on_resistance(0.3));
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's runtime experiment (Section VI, last paragraph): "a minor
+//! overhead of the hybrid model compared to the simple inertial delay
+//! model or the Exp-Channel of 6 %".
+//!
+//! We measure the time to push a 500-transition random trace pair through
+//! each channel model. The absolute numbers are implementation-specific;
+//! the claim under test is that the hybrid channel's cost is the same
+//! order as the single-input channels', not multiples of it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mis_core::NorParams;
+use mis_digital::{
+    gates, ExpChannel, HybridNorChannel, InertialChannel, SumExpChannel, TraceTransform,
+    TwoInputTransform,
+};
+use mis_waveform::generate::{Assignment, TraceConfig};
+use mis_waveform::units::ps;
+
+fn channel_benches(c: &mut Criterion) {
+    let pair = TraceConfig::new(ps(150.0), ps(60.0), Assignment::Local, 500)
+        .generate(0xbe7)
+        .expect("trace generation");
+    let ideal = gates::nor(&pair.a, &pair.b).expect("ideal NOR");
+
+    let inertial = InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel");
+    let exp = ExpChannel::from_sis_delays(ps(50.0), ps(38.0), ps(20.0)).expect("channel");
+    let sumexp = SumExpChannel::from_sis_delay(ps(50.0), ps(20.0), 0.7, 4.0).expect("channel");
+    let hybrid = HybridNorChannel::new(&NorParams::paper_table1()).expect("channel");
+
+    let mut group = c.benchmark_group("channel_500_transitions");
+    group.bench_function("inertial", |b| {
+        b.iter_batched(
+            || ideal.clone(),
+            |t| inertial.apply(&t).expect("inertial"),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("exp_involution", |b| {
+        b.iter_batched(
+            || ideal.clone(),
+            |t| exp.apply(&t).expect("exp"),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("sumexp_involution", |b| {
+        b.iter_batched(
+            || ideal.clone(),
+            |t| sumexp.apply(&t).expect("sumexp"),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("hybrid_nor", |b| {
+        b.iter_batched(
+            || (pair.a.clone(), pair.b.clone()),
+            |(a, bb)| hybrid.apply2(&a, &bb).expect("hybrid"),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, channel_benches);
+criterion_main!(benches);

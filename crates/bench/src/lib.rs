@@ -1,0 +1,206 @@
+//! Shared infrastructure for the per-figure regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the experiment index); this library provides the
+//! common output formatting, ASCII plotting and flag handling so the
+//! binaries stay focused on the experiment logic.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// Command-line options shared by the regeneration binaries.
+#[derive(Debug, Clone, Default)]
+pub struct BinArgs {
+    /// `--quick`: reduced sweep density / repetitions for CI-scale runs.
+    pub quick: bool,
+    /// `--csv`: emit machine-readable CSV instead of aligned tables.
+    pub csv: bool,
+    /// Positional / remaining arguments.
+    pub rest: Vec<String>,
+}
+
+impl BinArgs {
+    /// Parses `std::env::args`, accepting `--quick` and `--csv` anywhere.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut out = BinArgs::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--csv" => out.csv = true,
+                other => out.rest.push(other.to_owned()),
+            }
+        }
+        out
+    }
+
+    /// Value of a `--key value` style option in the remaining arguments.
+    #[must_use]
+    pub fn option(&self, key: &str) -> Option<&str> {
+        self.rest
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+}
+
+/// A printable two-dimensional series: one x column, named y columns.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// X-axis label.
+    pub x_label: String,
+    /// Column labels for each y series.
+    pub y_labels: Vec<String>,
+    /// X values.
+    pub xs: Vec<f64>,
+    /// One vector of y values per label, parallel to `xs`.
+    pub ys: Vec<Vec<f64>>,
+}
+
+impl Series {
+    /// Creates an empty series container.
+    #[must_use]
+    pub fn new(x_label: &str, y_labels: &[&str]) -> Self {
+        Series {
+            x_label: x_label.to_owned(),
+            y_labels: y_labels.iter().map(|s| (*s).to_owned()).collect(),
+            xs: Vec::new(),
+            ys: vec![Vec::new(); y_labels.len()],
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len()` differs from the number of y labels
+    /// (programmer error in a bench binary).
+    pub fn push(&mut self, x: f64, row: &[f64]) {
+        assert_eq!(row.len(), self.ys.len(), "row arity mismatch");
+        self.xs.push(x);
+        for (col, v) in self.ys.iter_mut().zip(row) {
+            col.push(*v);
+        }
+    }
+
+    /// Renders as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{}", self.x_label);
+        for l in &self.y_labels {
+            let _ = write!(s, ",{l}");
+        }
+        let _ = writeln!(s);
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(s, "{x:.6}");
+            for col in &self.ys {
+                let _ = write!(s, ",{:.6}", col[i]);
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Renders as an aligned text table.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{:>12}", self.x_label);
+        for l in &self.y_labels {
+            let _ = write!(s, " {l:>16}");
+        }
+        let _ = writeln!(s);
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(s, "{x:>12.3}");
+            for col in &self.ys {
+                let _ = write!(s, " {:>16.4}", col[i]);
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Prints in the format selected by `args`.
+    pub fn print(&self, args: &BinArgs) {
+        if args.csv {
+            print!("{}", self.to_csv());
+        } else {
+            print!("{}", self.to_table());
+        }
+    }
+}
+
+/// Renders a crude ASCII line chart of one y column — enough to check a
+/// curve's shape in a terminal.
+#[must_use]
+pub fn ascii_plot(series: &Series, column: usize, height: usize) -> String {
+    let ys = &series.ys[column];
+    if ys.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let (min, max) = ys
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (max - min).max(1e-300);
+    let h = height.max(2);
+    let mut rows = vec![vec![b' '; ys.len()]; h];
+    for (i, &v) in ys.iter().enumerate() {
+        let r = ((max - v) / span * (h - 1) as f64).round() as usize;
+        rows[r.min(h - 1)][i] = b'*';
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{} [{:.3}, {:.3}]", series.y_labels[column], min, max);
+    for row in rows {
+        let _ = writeln!(out, "|{}", String::from_utf8_lossy(&row));
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(ys.len()));
+    out
+}
+
+/// Prints a banner naming the experiment and its paper artifact.
+pub fn banner(figure: &str, description: &str) {
+    println!("================================================================");
+    println!("{figure} — {description}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_round_trip() {
+        let mut s = Series::new("x", &["a", "b"]);
+        s.push(1.0, &[2.0, 3.0]);
+        s.push(2.0, &[4.0, 5.0]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("x,a,b\n"));
+        assert!(csv.contains("1.000000,2.000000,3.000000"));
+        let table = s.to_table();
+        assert!(table.contains('a') && table.contains("4.0000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn series_rejects_bad_row() {
+        let mut s = Series::new("x", &["a"]);
+        s.push(1.0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ascii_plot_contains_extremes() {
+        let mut s = Series::new("x", &["y"]);
+        for i in 0..20 {
+            s.push(i as f64, &[(i as f64 - 10.0).powi(2)]);
+        }
+        let plot = ascii_plot(&s, 0, 8);
+        assert!(plot.contains('*'));
+        assert!(plot.lines().count() >= 9);
+    }
+}

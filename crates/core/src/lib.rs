@@ -1,0 +1,72 @@
+//! The hybrid four-mode ODE delay model of a 2-input CMOS NOR gate —
+//! the primary contribution of Ferdowsi, Maier, Öhlinger & Schmid,
+//! *"A Simple Hybrid Model for Accurate Delay Modeling of a Multi-Input
+//! Gate"*, DATE 2022 (arXiv:2111.11182).
+//!
+//! # The model
+//!
+//! Replace the four transistors of a CMOS NOR gate (series pMOS `T1`,`T2`
+//! with internal node `N`; parallel nMOS `T3`,`T4`) by ideal switches that
+//! open/close when the driving input crosses `V_th = V_DD/2`. For each
+//! input state `(A,B) ∈ {(0,0),(0,1),(1,0),(1,1)}` the gate then reduces to
+//! a linear RC network over the state vector `V = [V_N, V_O]`, governed by
+//! a first-order affine ODE system `V' = A·V + g` with a closed-form
+//! solution (paper eqs. (1)–(7)). Input threshold crossings switch modes
+//! instantaneously while keeping `V` continuous; the gate delay is the time
+//! at which `V_O` crosses `V_th`.
+//!
+//! # What lives where
+//!
+//! * [`NorParams`] — the six RC parameters (Table I defaults), supply and
+//!   threshold voltages, and the pure delay `δ_min`.
+//! * [`Mode`] / [`ModeSystem`] — the per-mode ODE systems and their
+//!   analytic constants `α, β, γ, λ₁, λ₂`.
+//! * [`ModeTrajectory`] / [`HybridTrajectory`] — closed-form state
+//!   evolution inside a mode and across arbitrary mode-switch sequences
+//!   (Fig. 4).
+//! * [`delay`] — the MIS delay functions `δ↓(Δ)` and `δ↑(Δ | V_N)`
+//!   (Figs. 5, 6, 8).
+//! * [`charlie`] — characteristic Charlie delays: exact closed forms
+//!   (eqs. (8), (9)), linearized approximations (eqs. (10)–(12)) and their
+//!   numerically exact counterparts.
+//! * [`fit`] — parametrization from measured characteristic delays,
+//!   including the paper's pure-delay workaround (Section V / Table I).
+//! * [`channel`] — a stateful event-driven NOR channel exposing the model
+//!   to digital timing simulation (`mis-digital`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mis_core::{delay, NorParams};
+//! use mis_waveform::units::{ps, to_ps};
+//!
+//! # fn main() -> Result<(), mis_core::ModelError> {
+//! let params = NorParams::paper_table1();
+//! // MIS speed-up: simultaneous rising inputs beat a lone input.
+//! let d_sis = delay::falling_delay(&params, ps(-200.0))?; // B switches alone
+//! let d_mis = delay::falling_delay(&params, 0.0)?;        // A and B together
+//! assert!(d_mis < d_sis);
+//! println!("δ↓(-∞) = {:.1} ps, δ↓(0) = {:.1} ps", to_ps(d_sis), to_ps(d_mis));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod charlie;
+pub mod delay;
+mod error;
+pub mod fit;
+mod mode;
+pub mod nand;
+mod params;
+mod system;
+mod trajectory;
+
+pub use error::ModelError;
+pub use mode::{InputId, Mode};
+pub use params::{NorParams, NorParamsBuilder, RisingInitialVn};
+pub use system::{ModeConstants, ModeSystem, ModeTrajectory};
+pub use trajectory::{HybridTrajectory, ModeSwitch};

@@ -1,0 +1,128 @@
+use std::fmt;
+
+/// Identifies one of the NOR gate's two inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputId {
+    /// Input A — drives pMOS `T1` (top of the series stack) and nMOS `T3`.
+    A,
+    /// Input B — drives pMOS `T2` (N–O) and nMOS `T4`.
+    B,
+}
+
+/// The four operating modes of the hybrid model, one per binary input
+/// state `(A, B)`.
+///
+/// Each mode corresponds to a distinct RC network (paper Fig. 3) and hence
+/// a distinct affine ODE system over `[V_N, V_O]`.
+///
+/// # Examples
+///
+/// ```
+/// use mis_core::Mode;
+///
+/// assert_eq!(Mode::from_inputs(true, false), Mode::S10);
+/// assert!(Mode::S00.nor_output()); // both inputs low → output high
+/// assert!(!Mode::S10.nor_output());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// `(A,B) = (0,0)`: both pMOS closed — output charges via R1, R2.
+    S00,
+    /// `(A,B) = (0,1)`: T1 and T4 closed — N charges via R1, O discharges
+    /// via R4; N and O are decoupled.
+    S01,
+    /// `(A,B) = (1,0)`: T2 and T3 closed — N discharges *through* O via
+    /// R2, O discharges via R3.
+    S10,
+    /// `(A,B) = (1,1)`: both nMOS closed — O discharges via R3 ∥ R4, N
+    /// floats (its voltage is frozen).
+    S11,
+}
+
+impl Mode {
+    /// All four modes in the paper's enumeration order.
+    pub const ALL: [Mode; 4] = [Mode::S00, Mode::S01, Mode::S10, Mode::S11];
+
+    /// The mode for a given pair of (boolean) input values.
+    #[must_use]
+    pub fn from_inputs(a: bool, b: bool) -> Mode {
+        match (a, b) {
+            (false, false) => Mode::S00,
+            (false, true) => Mode::S01,
+            (true, false) => Mode::S10,
+            (true, true) => Mode::S11,
+        }
+    }
+
+    /// The input values `(a, b)` of this mode.
+    #[must_use]
+    pub fn inputs(self) -> (bool, bool) {
+        match self {
+            Mode::S00 => (false, false),
+            Mode::S01 => (false, true),
+            Mode::S10 => (true, false),
+            Mode::S11 => (true, true),
+        }
+    }
+
+    /// The Boolean NOR of the mode's inputs — the *logical* output value,
+    /// which the analog output voltage approaches as the mode persists.
+    #[must_use]
+    pub fn nor_output(self) -> bool {
+        self == Mode::S00
+    }
+
+    /// The mode reached from `self` when `input` changes to `value`.
+    #[must_use]
+    pub fn with_input(self, input: InputId, value: bool) -> Mode {
+        let (a, b) = self.inputs();
+        match input {
+            InputId::A => Mode::from_inputs(value, b),
+            InputId::B => Mode::from_inputs(a, value),
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.inputs();
+        write!(f, "({}, {})", u8::from(a), u8::from(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_inputs() {
+        for m in Mode::ALL {
+            let (a, b) = m.inputs();
+            assert_eq!(Mode::from_inputs(a, b), m);
+        }
+    }
+
+    #[test]
+    fn nor_truth_table() {
+        assert!(Mode::S00.nor_output());
+        assert!(!Mode::S01.nor_output());
+        assert!(!Mode::S10.nor_output());
+        assert!(!Mode::S11.nor_output());
+    }
+
+    #[test]
+    fn with_input_transitions() {
+        assert_eq!(Mode::S00.with_input(InputId::A, true), Mode::S10);
+        assert_eq!(Mode::S10.with_input(InputId::B, true), Mode::S11);
+        assert_eq!(Mode::S11.with_input(InputId::A, false), Mode::S01);
+        assert_eq!(Mode::S01.with_input(InputId::B, false), Mode::S00);
+        // No-op change keeps the mode.
+        assert_eq!(Mode::S10.with_input(InputId::A, true), Mode::S10);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Mode::S10.to_string(), "(1, 0)");
+        assert_eq!(Mode::S00.to_string(), "(0, 0)");
+    }
+}

@@ -1,0 +1,310 @@
+//! The paper's Fig. 7 accuracy experiment: random input traces are run
+//! through the analog reference (golden) and through each digital delay
+//! model; the models are scored by the *deviation area* — the total time
+//! their digitized output disagrees with the digitized analog output —
+//! normalized to the inertial-delay baseline.
+//!
+//! Models evaluated (the paper's bar groups):
+//!
+//! 1. inertial delay (normalization baseline, score 1 by construction),
+//! 2. the IDM Exp-Channel with an empirical pure delay (20 ps in the
+//!    paper),
+//! 3. the hybrid model **without** pure delay,
+//! 4. the hybrid model **with** pure delay (δ_min = 18 ps) — the paper's
+//!    headline configuration.
+//!
+//! The single-input channels (1, 2) cannot see which input switched; they
+//! sit behind a zero-time NOR gate. The hybrid channel consumes both
+//! input traces directly.
+
+use mis_analog::measure;
+use mis_analog::transient::TransientOptions;
+use mis_analog::NorTech;
+use mis_core::NorParams;
+use mis_waveform::generate::TraceConfig;
+use mis_waveform::{deviation_area, DigitalTrace};
+
+use crate::channels::{TraceTransform, TwoInputTransform};
+use crate::{gates, ExpChannel, HybridNorChannel, InertialChannel, SimError};
+
+/// Configuration of the accuracy experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Golden-reference technology.
+    pub tech: NorTech,
+    /// Transient-simulation options for the reference runs.
+    pub tran: TransientOptions,
+    /// Hybrid model parameters *with* pure delay (the "HM with δ_min"
+    /// bars); the "without" variant is derived by zeroing `delta_min`.
+    pub hybrid: NorParams,
+    /// Pure delay of the Exp-Channel (the paper uses 20 ps, found
+    /// empirically).
+    pub exp_pure_delay: f64,
+    /// Repetitions per waveform configuration (paper: 20).
+    pub repetitions: usize,
+    /// Base RNG seed; repetition `k` of configuration `i` uses
+    /// `base_seed + 1000·i + k`.
+    pub base_seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            tech: NorTech::freepdk15_like(),
+            tran: TransientOptions::default(),
+            hybrid: NorParams::paper_table1(),
+            exp_pure_delay: 20e-12,
+            repetitions: 20,
+            base_seed: 0x5eed,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Builds an experiment whose hybrid model has been **fitted to the
+    /// analog reference** — the paper's actual workflow: measure the six
+    /// characteristic Charlie delays from SPICE (here `mis-analog`),
+    /// subtract the pure delay `δ_min`, and least-squares fit
+    /// `R1..R4, C_N, C_O` (Section V).
+    ///
+    /// `delta_min = None` derives the pure delay from the paper's
+    /// feasibility argument: the model forces
+    /// `δ↓(−∞)/δ↓(0) = (R₃+R₄)/R₃ ≈ 2` for matched nMOS, so
+    /// `δ_min = 2·δ↓(0) − δ↓(−∞)` makes the *shifted* targets hit exactly
+    /// ratio 2 (their technology yielded 18 ps; ours differs — that the
+    /// rule transfers is itself a reproduction result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization and fit failures.
+    pub fn calibrated(
+        tech: NorTech,
+        tran: TransientOptions,
+        delta_min: Option<f64>,
+        repetitions: usize,
+    ) -> Result<Self, SimError> {
+        let chars = measure::characteristic_delays(&tech, &tran).map_err(|e| {
+            SimError::Network {
+                reason: format!("reference characterization failed: {e}"),
+            }
+        })?;
+        let targets = mis_core::charlie::CharacteristicDelays::from_array(chars);
+        let dmin = delta_min
+            .unwrap_or_else(|| (2.0 * targets.fall_zero - targets.fall_minus_inf).max(0.0));
+        let fit_cfg = mis_core::fit::FitConfig {
+            delta_min: dmin,
+            vdd: tech.vdd,
+            vth: tech.vdd / 2.0,
+            ..mis_core::fit::FitConfig::default()
+        };
+        let outcome = mis_core::fit::fit(&targets, &fit_cfg)?;
+        Ok(ExperimentConfig {
+            tech,
+            tran,
+            hybrid: outcome.params,
+            exp_pure_delay: 20e-12,
+            repetitions,
+            base_seed: 0x5eed,
+        })
+    }
+}
+
+/// Scores of one delay model under one waveform configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelScore {
+    /// Model name.
+    pub name: String,
+    /// Mean raw deviation area (seconds of disagreement).
+    pub raw_mean: f64,
+    /// Mean deviation area normalized per-repetition to the inertial
+    /// baseline (the paper's bar heights).
+    pub normalized_mean: f64,
+}
+
+/// All model scores for one waveform configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigScores {
+    /// The configuration's label, e.g. `"100/50 - LOCAL"`.
+    pub label: String,
+    /// Scores in the paper's order: inertial, Exp-Channel, HM without
+    /// δ_min, HM with δ_min.
+    pub models: Vec<ModelScore>,
+}
+
+/// Runs the full experiment over the given waveform configurations.
+///
+/// Baseline channels are parametrized from the *measured* characteristic
+/// delays of the analog reference, mirroring the paper's workflow (SIS
+/// delays averaged over the two inputs, because single-input channels
+/// cannot distinguish them).
+///
+/// # Errors
+///
+/// Propagates analog-simulation, channel and trace failures.
+pub fn run_experiment(
+    cfg: &ExperimentConfig,
+    trace_configs: &[TraceConfig],
+) -> Result<Vec<ConfigScores>, SimError> {
+    // Parametrize the baselines once from the golden reference.
+    let chars = measure::characteristic_delays(&cfg.tech, &cfg.tran)
+        .map_err(|e| SimError::Network {
+            reason: format!("reference characterization failed: {e}"),
+        })?;
+    let sis_fall = 0.5 * (chars[0] + chars[2]);
+    let sis_rise = 0.5 * (chars[3] + chars[5]);
+    let inertial = InertialChannel::symmetric(sis_rise, sis_fall)?;
+    let exp = ExpChannel::from_sis_delays(sis_rise, sis_fall, cfg.exp_pure_delay)?;
+    let hybrid_with = HybridNorChannel::new(&cfg.hybrid)?;
+    let hybrid_without = HybridNorChannel::new(&cfg.hybrid.without_pure_delay())?;
+
+    let mut out = Vec::with_capacity(trace_configs.len());
+    for (ci, tc) in trace_configs.iter().enumerate() {
+        // Keep generated edges renderable: consecutive same-signal edges
+        // must be at least one input slew apart.
+        let mut tc = tc.clone();
+        tc.min_gap = tc.min_gap.max(1.25 * cfg.tech.input_slew);
+
+        let mut raw = [0.0_f64; 4];
+        let mut norm = [0.0_f64; 4];
+        for rep in 0..cfg.repetitions.max(1) {
+            let seed = cfg.base_seed + 1000 * ci as u64 + rep as u64;
+            let pair = tc.generate(seed)?;
+            let t_end = pair.horizon;
+            let reference = reference_trace(cfg, &pair.a, &pair.b, t_end)?;
+            let ideal = gates::nor(&pair.a, &pair.b)?;
+
+            let outputs = [
+                inertial.apply(&ideal)?,
+                exp.apply(&ideal)?,
+                hybrid_without.apply2(&pair.a, &pair.b)?,
+                hybrid_with.apply2(&pair.a, &pair.b)?,
+            ];
+            let mut devs = [0.0_f64; 4];
+            for (slot, trace) in outputs.iter().enumerate() {
+                devs[slot] = deviation_area(trace, &reference, 0.0, t_end)?;
+            }
+            let baseline = devs[0].max(1e-30);
+            for slot in 0..4 {
+                raw[slot] += devs[slot];
+                norm[slot] += devs[slot] / baseline;
+            }
+        }
+        let n = cfg.repetitions.max(1) as f64;
+        let names = [
+            "inertial delay",
+            "Exp-Channel",
+            "HM without dmin",
+            "HM with dmin",
+        ];
+        out.push(ConfigScores {
+            label: tc.label(),
+            models: (0..4)
+                .map(|slot| ModelScore {
+                    name: names[slot].to_owned(),
+                    raw_mean: raw[slot] / n,
+                    normalized_mean: norm[slot] / n,
+                })
+                .collect(),
+        });
+    }
+    Ok(out)
+}
+
+/// Simulates the analog reference for a trace pair and digitizes its
+/// output at `V_DD/2`.
+///
+/// # Errors
+///
+/// Propagates simulation and digitization failures.
+pub fn reference_trace(
+    cfg: &ExperimentConfig,
+    a: &DigitalTrace,
+    b: &DigitalTrace,
+    t_end: f64,
+) -> Result<DigitalTrace, SimError> {
+    let sim = cfg
+        .tech
+        .simulate_traces(a, b, t_end, &cfg.tran)
+        .map_err(|e| SimError::Network {
+            reason: format!("reference simulation failed: {e}"),
+        })?;
+    Ok(sim.vo.digitize(cfg.tech.vdd / 2.0)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_waveform::generate::Assignment;
+    use mis_waveform::units::ps;
+
+    /// A miniature experiment: few transitions, one repetition — shape
+    /// checks only (the full-scale run lives in the bench harness).
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            repetitions: 2,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn experiment_runs_and_normalizes() {
+        let cfg = tiny_config();
+        let tcs = vec![TraceConfig::new(
+            ps(300.0),
+            ps(100.0),
+            Assignment::Local,
+            24,
+        )];
+        let scores = run_experiment(&cfg, &tcs).unwrap();
+        assert_eq!(scores.len(), 1);
+        let s = &scores[0];
+        assert_eq!(s.models.len(), 4);
+        // The inertial baseline normalizes to exactly 1.
+        assert!((s.models[0].normalized_mean - 1.0).abs() < 1e-12);
+        for m in &s.models {
+            assert!(m.raw_mean.is_finite() && m.raw_mean >= 0.0, "{m:?}");
+            assert!(m.normalized_mean >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hybrid_with_dmin_beats_inertial_on_short_pulses() {
+        // The paper's headline (Fig. 7, first two groups): for short
+        // pulses the *fitted* hybrid model with pure delay clearly beats
+        // the inertial baseline.
+        let cfg = ExperimentConfig {
+            repetitions: 3,
+            ..ExperimentConfig::calibrated(
+                NorTech::freepdk15_like(),
+                mis_analog::transient::TransientOptions::default(),
+                None,
+                3,
+            )
+            .unwrap()
+        };
+        let tcs = vec![TraceConfig::new(
+            ps(150.0),
+            ps(60.0),
+            Assignment::Local,
+            40,
+        )];
+        let scores = run_experiment(&cfg, &tcs).unwrap();
+        let hm_with = &scores[0].models[3];
+        assert!(
+            hm_with.normalized_mean < 0.9,
+            "HM with δ_min should clearly beat inertial: {}",
+            hm_with.normalized_mean
+        );
+    }
+
+    #[test]
+    fn reference_trace_matches_nor_polarity() {
+        let cfg = tiny_config();
+        let a = DigitalTrace::with_edges(false, vec![(ps(300.0), true)]).unwrap();
+        let b = DigitalTrace::constant(false);
+        let r = reference_trace(&cfg, &a, &b, ps(800.0)).unwrap();
+        assert!(r.initial_value(), "NOR of (0,0) starts high");
+        assert_eq!(r.transition_count(), 1);
+        assert!(!r.edges()[0].rising);
+    }
+}

@@ -1,0 +1,141 @@
+//! Delay channel implementations.
+
+pub mod exp;
+pub mod hybrid;
+pub mod inertial;
+pub mod nand;
+pub mod pure;
+pub mod sumexp;
+
+use mis_waveform::DigitalTrace;
+
+use crate::SimError;
+
+/// A single-input delay channel: a causal transform from an input binary
+/// trace to an output binary trace.
+pub trait TraceTransform {
+    /// Applies the channel to a full input trace.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; typically trace-invariant violations or
+    /// model failures.
+    fn apply(&self, input: &DigitalTrace) -> Result<DigitalTrace, SimError>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A two-input delay channel (the hybrid NOR model): consumes both input
+/// traces directly, which is what lets it see the input separation `Δ`
+/// that single-input channels structurally cannot.
+pub trait TwoInputTransform {
+    /// Applies the channel to a pair of input traces.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific.
+    fn apply2(&self, a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Runs the IDM single-history channel algorithm over an input trace,
+/// given a delay function `delta(T, rising)` where `T` is the time from
+/// the *previous scheduled output transition* to the current input edge
+/// (`+∞` for the first).
+///
+/// Cancellation rule: an output transition scheduled at or before the
+/// currently pending one annihilates together with it (both are removed),
+/// which is how the IDM removes glitches that the analog waveform would
+/// swallow.
+///
+/// # Errors
+///
+/// Returns [`SimError::Trace`] if the resulting edge sequence violates
+/// trace invariants (cannot happen for a correct delay function, kept as a
+/// defensive check).
+pub(crate) fn run_involution_channel<F>(
+    input: &DigitalTrace,
+    initial_output: bool,
+    mut delta: F,
+) -> Result<DigitalTrace, SimError>
+where
+    F: FnMut(f64, bool) -> f64,
+{
+    let mut scheduled: Vec<(f64, bool)> = Vec::with_capacity(input.edges().len());
+    for edge in input.edges() {
+        let t_prev_out = scheduled.last().map(|&(t, _)| t);
+        let t_in = edge.time;
+        let big_t = t_prev_out.map_or(f64::INFINITY, |tp| t_in - tp);
+        let d = delta(big_t, edge.rising);
+        let t_out = t_in + d;
+        match scheduled.last() {
+            Some(&(t_pending, _)) if t_out <= t_pending => {
+                // Cancellation: the new transition catches up with the
+                // pending one; both vanish.
+                scheduled.pop();
+            }
+            _ => scheduled.push((t_out, edge.rising)),
+        }
+    }
+    // Defensive polarity cleanup (identical to digitization): keep only
+    // value-changing edges starting from the initial output value.
+    let mut out = DigitalTrace::constant(initial_output);
+    let mut value = initial_output;
+    for (t, rising) in scheduled {
+        if rising != value {
+            out.push_edge(t, rising)?;
+            value = rising;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_waveform::units::ps;
+
+    #[test]
+    fn involution_runner_constant_delay_passthrough() {
+        let input =
+            DigitalTrace::with_edges(false, vec![(ps(10.0), true), (ps(50.0), false)]).unwrap();
+        let out = run_involution_channel(&input, false, |_t, _r| ps(5.0)).unwrap();
+        assert_eq!(out.transition_count(), 2);
+        assert!((out.edges()[0].time - ps(15.0)).abs() < 1e-18);
+        assert!((out.edges()[1].time - ps(55.0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn involution_runner_cancels_overtaking_transitions() {
+        // Second edge overtakes the first scheduled output: both vanish.
+        let input =
+            DigitalTrace::with_edges(false, vec![(ps(10.0), true), (ps(11.0), false)]).unwrap();
+        let out = run_involution_channel(&input, false, |t, r| {
+            // Rising slow, falling fast: the falling output would be
+            // scheduled before the pending rising one.
+            let _ = t;
+            if r {
+                ps(20.0)
+            } else {
+                ps(2.0)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.transition_count(), 0);
+    }
+
+    #[test]
+    fn involution_runner_first_transition_uses_infinite_t() {
+        let input = DigitalTrace::with_edges(false, vec![(ps(10.0), true)]).unwrap();
+        let mut seen_t = f64::NAN;
+        let _ = run_involution_channel(&input, false, |t, _| {
+            seen_t = t;
+            ps(1.0)
+        })
+        .unwrap();
+        assert!(seen_t.is_infinite());
+    }
+}

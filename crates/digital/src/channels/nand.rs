@@ -1,0 +1,158 @@
+use mis_core::nand::NandParams;
+use mis_core::NorParams;
+use mis_waveform::DigitalTrace;
+
+use crate::channels::{TwoInputTransform};
+use crate::{gates, HybridNorChannel, SimError};
+
+/// The hybrid model as a two-input **NAND** channel, realized through the
+/// exact duality `NAND(a, b) = ¬NOR(¬a, ¬b)` at the *analog* level: input
+/// traces are inverted, pushed through the dual NOR's continuous-state
+/// model, and the output trace is inverted back. Because the duality maps
+/// voltages by `v ↦ V_DD − v`, the timing (threshold crossings at
+/// `V_DD/2`) is preserved exactly.
+///
+/// # Examples
+///
+/// ```
+/// use mis_digital::{HybridNandChannel, TwoInputTransform};
+/// use mis_core::NorParams;
+/// use mis_waveform::{DigitalTrace, units::ps};
+///
+/// # fn main() -> Result<(), mis_digital::SimError> {
+/// let ch = HybridNandChannel::from_dual(&NorParams::paper_table1())?;
+/// let a = DigitalTrace::with_edges(false, vec![(ps(200.0), true)])?;
+/// let b = DigitalTrace::with_edges(false, vec![(ps(210.0), true)])?;
+/// let out = ch.apply2(&a, &b)?;
+/// assert!(out.initial_value());          // NAND of (0,0) is high
+/// assert_eq!(out.transition_count(), 1); // one falling transition
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridNandChannel {
+    inner: HybridNorChannel,
+}
+
+impl HybridNandChannel {
+    /// Creates the channel from the dual NOR parameter set (see
+    /// [`NandParams`] for the reinterpretation of the fields).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Model`] for invalid parameters.
+    pub fn from_dual(dual: &NorParams) -> Result<Self, SimError> {
+        Ok(HybridNandChannel {
+            inner: HybridNorChannel::new(dual)?,
+        })
+    }
+
+    /// Creates the channel from a [`NandParams`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Model`] for invalid parameters.
+    pub fn new(params: &NandParams) -> Result<Self, SimError> {
+        Self::from_dual(params.dual())
+    }
+}
+
+impl TwoInputTransform for HybridNandChannel {
+    fn apply2(&self, a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+        let a_inv = gates::not(a)?;
+        let b_inv = gates::not(b)?;
+        let nor_out = self.inner.apply2(&a_inv, &b_inv)?;
+        gates::not(&nor_out)
+    }
+
+    fn name(&self) -> &str {
+        "hybrid-nand"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_core::nand::NandParams;
+    use mis_core::RisingInitialVn;
+    use mis_waveform::units::ps;
+
+    fn channel() -> HybridNandChannel {
+        HybridNandChannel::from_dual(&NorParams::paper_table1()).unwrap()
+    }
+
+    #[test]
+    fn nand_logic_polarity() {
+        let ch = channel();
+        // Both inputs high → output low after the falling delay.
+        let a = DigitalTrace::with_edges(false, vec![(ps(300.0), true)]).unwrap();
+        let b = DigitalTrace::with_edges(false, vec![(ps(300.0), true)]).unwrap();
+        let out = ch.apply2(&a, &b).unwrap();
+        assert!(out.initial_value());
+        assert_eq!(out.transition_count(), 1);
+        assert!(!out.edges()[0].rising);
+    }
+
+    #[test]
+    fn single_input_switching_does_not_toggle_output() {
+        // NAND with one input low stays high regardless of the other.
+        let ch = channel();
+        let a = DigitalTrace::with_edges(false, vec![(ps(300.0), true), (ps(600.0), false)])
+            .unwrap();
+        let b = DigitalTrace::constant(false);
+        let out = ch.apply2(&a, &b).unwrap();
+        assert!(out.initial_value());
+        assert_eq!(out.transition_count(), 0);
+    }
+
+    #[test]
+    fn falling_delay_matches_nand_params() {
+        let ch = channel();
+        let params = NandParams::from_dual(NorParams::paper_table1());
+        for &delta in &[ps(-25.0), 0.0, ps(25.0)] {
+            let (ta, tb) = if delta >= 0.0 {
+                (ps(400.0), ps(400.0) + delta)
+            } else {
+                (ps(400.0) - delta, ps(400.0))
+            };
+            let a = DigitalTrace::with_edges(false, vec![(ta, true)]).unwrap();
+            let b = DigitalTrace::with_edges(false, vec![(tb, true)]).unwrap();
+            let out = ch.apply2(&a, &b).unwrap();
+            assert_eq!(out.transition_count(), 1, "Δ = {delta:e}");
+            // The channel starts from (0,0): the dual NOR starts from
+            // (1,1) with the Gnd V_N policy, i.e. NAND V_M hypothesis
+            // VDD (duality flips it).
+            let expected = tb.max(ta)
+                + params
+                    .falling_delay(delta, RisingInitialVn::Vdd)
+                    .unwrap();
+            assert!(
+                (out.edges()[0].time - expected).abs() < ps(0.01),
+                "Δ = {delta:e}: {:e} vs {expected:e}",
+                out.edges()[0].time
+            );
+        }
+    }
+
+    #[test]
+    fn mis_speed_up_on_rising_output() {
+        // Both inputs fall: the parallel pMOS charge the output — delays
+        // shrink as |Δ| → 0 (dual of the NOR falling speed-up).
+        let ch = channel();
+        let mk = |delta: f64| {
+            let (ta, tb) = if delta >= 0.0 {
+                (ps(400.0), ps(400.0) + delta)
+            } else {
+                (ps(400.0) - delta, ps(400.0))
+            };
+            let a = DigitalTrace::with_edges(true, vec![(ta, false)]).unwrap();
+            let b = DigitalTrace::with_edges(true, vec![(tb, false)]).unwrap();
+            let out = ch.apply2(&a, &b).unwrap();
+            assert_eq!(out.transition_count(), 1);
+            out.edges()[0].time - ta.min(tb)
+        };
+        let d0 = mk(0.0);
+        let d_far = mk(ps(300.0));
+        assert!(d0 < d_far, "MIS speed-up: {d0:e} vs {d_far:e}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Channel continuity analysis — the paper's stated future work
+//! ("whether our multi-input digital delay channels are continuous with
+//! respect to a certain metric, and therefore lead to a faithful model").
+//!
+//! The faithfulness theory behind the IDM (Függer et al.) hinges on the
+//! channel being a *continuous* map from input traces to output traces:
+//! an ε-perturbation of input edge times must not move output edges by
+//! more than some modulus `K·ε`, except at isolated cancellation
+//! boundaries where a pulse appears/disappears (there, continuity is in
+//! the weaker "vanishing pulse width" sense).
+//!
+//! [`probe_two_input`] measures this empirically for any
+//! [`TwoInputTransform`]: it perturbs every input edge by `±ε`, reruns the
+//! channel, and reports the worst output-edge displacement and whether
+//! the output's transition count changed (a potential discontinuity or a
+//! legitimately-crossed cancellation boundary).
+
+use mis_waveform::DigitalTrace;
+
+use crate::channels::TwoInputTransform;
+use crate::SimError;
+
+/// Result of a continuity probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuityReport {
+    /// Perturbation magnitude applied to the input edges, seconds.
+    pub epsilon: f64,
+    /// Largest displacement of any matched output edge, seconds
+    /// (`None` when a perturbation changed the transition count).
+    pub max_edge_shift: Option<f64>,
+    /// Empirical modulus `max_edge_shift / epsilon` (when defined).
+    pub modulus: Option<f64>,
+    /// Number of perturbation scenarios whose output transition count
+    /// differed from the nominal run.
+    pub count_changes: usize,
+    /// Scenarios probed.
+    pub scenarios: usize,
+}
+
+impl ContinuityReport {
+    /// Whether the probe observed Lipschitz-style continuity with modulus
+    /// at most `k` and no transition-count changes.
+    #[must_use]
+    pub fn is_continuous_with_modulus(&self, k: f64) -> bool {
+        self.count_changes == 0 && self.modulus.is_some_and(|m| m <= k)
+    }
+}
+
+/// Probes a two-input channel's continuity around the operating point
+/// `(a, b)`: each input edge, in turn, is shifted by `+ε` and by `−ε`,
+/// and the channel output is compared against the nominal output.
+///
+/// # Errors
+///
+/// Propagates channel failures and trace-construction failures from
+/// degenerate perturbations (ε larger than an inter-edge gap).
+pub fn probe_two_input(
+    channel: &dyn TwoInputTransform,
+    a: &DigitalTrace,
+    b: &DigitalTrace,
+    epsilon: f64,
+) -> Result<ContinuityReport, SimError> {
+    if !(epsilon > 0.0) || !epsilon.is_finite() {
+        return Err(SimError::InvalidChannel {
+            reason: format!("epsilon must be positive (got {epsilon:e})"),
+        });
+    }
+    let nominal = channel.apply2(a, b)?;
+    let mut max_shift: Option<f64> = None;
+    let mut count_changes = 0usize;
+    let mut scenarios = 0usize;
+
+    let mut probe = |pa: &DigitalTrace, pb: &DigitalTrace| -> Result<(), SimError> {
+        scenarios += 1;
+        let out = channel.apply2(pa, pb)?;
+        if out.transition_count() != nominal.transition_count() {
+            count_changes += 1;
+            return Ok(());
+        }
+        for (e_nom, e_pert) in nominal.edges().iter().zip(out.edges()) {
+            let shift = (e_pert.time - e_nom.time).abs();
+            max_shift = Some(max_shift.map_or(shift, |m: f64| m.max(shift)));
+        }
+        Ok(())
+    };
+
+    for which in [true, false] {
+        let base = if which { a } else { b };
+        for idx in 0..base.edges().len() {
+            for sign in [1.0, -1.0] {
+                let perturbed = shift_edge(base, idx, sign * epsilon)?;
+                if which {
+                    probe(&perturbed, b)?;
+                } else {
+                    probe(a, &perturbed)?;
+                }
+            }
+        }
+    }
+
+    let modulus = max_shift.map(|s| s / epsilon);
+    Ok(ContinuityReport {
+        epsilon,
+        max_edge_shift: max_shift,
+        modulus,
+        count_changes,
+        scenarios,
+    })
+}
+
+/// Returns `trace` with edge `idx` moved by `dt`, validating that the
+/// move keeps the edge order intact.
+fn shift_edge(trace: &DigitalTrace, idx: usize, dt: f64) -> Result<DigitalTrace, SimError> {
+    let edges: Vec<(f64, bool)> = trace
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (if i == idx { e.time + dt } else { e.time }, e.rising))
+        .collect();
+    Ok(DigitalTrace::with_edges(trace.initial_value(), edges)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HybridNorChannel, TwoInputTransform};
+    use mis_core::NorParams;
+    use mis_waveform::units::ps;
+
+    fn channel() -> HybridNorChannel {
+        HybridNorChannel::new(&NorParams::paper_table1()).unwrap()
+    }
+
+    #[test]
+    fn hybrid_channel_is_continuous_away_from_boundaries() {
+        // A comfortable MIS scenario: wide pulse, inputs 10 ps apart.
+        let a = DigitalTrace::with_edges(
+            false,
+            vec![(ps(300.0), true), (ps(800.0), false)],
+        )
+        .unwrap();
+        let b = DigitalTrace::with_edges(
+            false,
+            vec![(ps(310.0), true), (ps(820.0), false)],
+        )
+        .unwrap();
+        let report = probe_two_input(&channel(), &a, &b, ps(0.1)).unwrap();
+        assert_eq!(report.count_changes, 0, "{report:?}");
+        // The delay functions have bounded slope in Δ; a modulus of a few
+        // is expected (an ε shift of one input moves Δ by ε and the
+        // anchor by up to ε).
+        assert!(
+            report.is_continuous_with_modulus(5.0),
+            "modulus too large: {report:?}"
+        );
+    }
+
+    #[test]
+    fn modulus_shrinks_with_epsilon_consistency() {
+        // The empirical modulus should be stable under ε refinement
+        // (differentiability), not blow up.
+        let a = DigitalTrace::with_edges(false, vec![(ps(300.0), true)]).unwrap();
+        let b = DigitalTrace::with_edges(false, vec![(ps(312.0), true)]).unwrap();
+        let coarse = probe_two_input(&channel(), &a, &b, ps(1.0)).unwrap();
+        let fine = probe_two_input(&channel(), &a, &b, ps(0.01)).unwrap();
+        let mc = coarse.modulus.expect("matched counts");
+        let mf = fine.modulus.expect("matched counts");
+        assert!(
+            (mc - mf).abs() < 0.5 * mc.max(mf),
+            "modulus unstable: coarse {mc} vs fine {mf}"
+        );
+    }
+
+    #[test]
+    fn cancellation_boundary_is_flagged() {
+        // A pulse right at the suppression boundary: perturbing its
+        // trailing edge changes whether the output glitch exists.
+        let ch = HybridNorChannel::new(&NorParams::paper_table1().without_pure_delay())
+            .unwrap();
+        // Find a width near the boundary by bisection on the channel.
+        let out_count = |width: f64| {
+            let a = DigitalTrace::with_edges(
+                false,
+                vec![(ps(300.0), true), (ps(300.0) + width, false)],
+            )
+            .unwrap();
+            let b = DigitalTrace::constant(false);
+            ch.apply2(&a, &b).unwrap().transition_count()
+        };
+        let mut lo = ps(1.0);
+        let mut hi = ps(60.0);
+        assert_eq!(out_count(lo), 0);
+        assert_eq!(out_count(hi), 2);
+        for _ in 0..30 {
+            let mid = 0.5 * (lo + hi);
+            if out_count(mid) == 0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let width = 0.5 * (lo + hi);
+        let a = DigitalTrace::with_edges(
+            false,
+            vec![(ps(300.0), true), (ps(300.0) + width, false)],
+        )
+        .unwrap();
+        let b = DigitalTrace::constant(false);
+        let report = probe_two_input(&ch, &a, &b, hi - lo).unwrap();
+        assert!(
+            report.count_changes > 0,
+            "perturbations across the boundary must change the count: {report:?}"
+        );
+    }
+
+    #[test]
+    fn vanishing_pulse_width_at_boundary() {
+        // The IDM faithfulness criterion: as the input pulse width
+        // approaches the suppression boundary from above, the *output*
+        // pulse width tends to zero (no jump) — the property that makes
+        // continuous channels faithful for short-pulse filtration.
+        let ch = HybridNorChannel::new(&NorParams::paper_table1().without_pure_delay())
+            .unwrap();
+        let out_width = |width: f64| -> Option<f64> {
+            let a = DigitalTrace::with_edges(
+                false,
+                vec![(ps(300.0), true), (ps(300.0) + width, false)],
+            )
+            .unwrap();
+            let b = DigitalTrace::constant(false);
+            let out = ch.apply2(&a, &b).unwrap();
+            (out.transition_count() == 2)
+                .then(|| out.edges()[1].time - out.edges()[0].time)
+        };
+        // Bisect to the boundary.
+        let mut lo = ps(1.0);
+        let mut hi = ps(60.0);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if out_width(mid).is_none() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let w_out = out_width(hi).expect("just above the boundary");
+        assert!(
+            w_out < ps(1.0),
+            "output pulse width must vanish at the boundary: {:.3} ps",
+            w_out / 1e-12
+        );
+    }
+
+    #[test]
+    fn probe_validates_epsilon() {
+        let a = DigitalTrace::constant(false);
+        assert!(probe_two_input(&channel(), &a, &a, 0.0).is_err());
+        assert!(probe_two_input(&channel(), &a, &a, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the digital timing simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Invalid channel parameters (non-positive delay/τ, etc.).
+    InvalidChannel {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// Invalid network topology (unknown signal, cycle, arity mismatch).
+    Network {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A trace violated an invariant while being processed.
+    Trace(mis_waveform::WaveformError),
+    /// The underlying hybrid model failed.
+    Model(mis_core::ModelError),
+    /// A numeric routine failed (e.g. waveform inversion in a sum-exp
+    /// channel).
+    Numeric(mis_num::NumError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidChannel { reason } => write!(f, "invalid channel: {reason}"),
+            SimError::Network { reason } => write!(f, "network error: {reason}"),
+            SimError::Trace(e) => write!(f, "trace failure: {e}"),
+            SimError::Model(e) => write!(f, "hybrid model failure: {e}"),
+            SimError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            SimError::Model(e) => Some(e),
+            SimError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mis_waveform::WaveformError> for SimError {
+    fn from(e: mis_waveform::WaveformError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+impl From<mis_core::ModelError> for SimError {
+    fn from(e: mis_core::ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<mis_num::NumError> for SimError {
+    fn from(e: mis_num::NumError) -> Self {
+        SimError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SimError::InvalidChannel {
+            reason: "tau must be positive".into(),
+        };
+        assert!(e.to_string().contains("tau"));
+        let e = SimError::from(mis_waveform::WaveformError::Empty);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,194 @@
+//! Zero-time Boolean gates over digital traces.
+//!
+//! The IDM separates *logic* (instantaneous Boolean gates) from *timing*
+//! (delay channels on the wires). These combinators implement the logic
+//! half: the output trace switches at exactly the input event times.
+
+use mis_waveform::DigitalTrace;
+
+use crate::SimError;
+
+/// Combines two traces with an arbitrary Boolean function, evaluated at
+/// every input event instant.
+///
+/// # Errors
+///
+/// Returns [`SimError::Trace`] only on internal invariant violations
+/// (defensive; cannot trigger for well-formed inputs).
+///
+/// # Examples
+///
+/// ```
+/// use mis_digital::gates;
+/// use mis_waveform::DigitalTrace;
+///
+/// # fn main() -> Result<(), mis_digital::SimError> {
+/// let a = DigitalTrace::with_edges(false, vec![(1.0, true)])?;
+/// let b = DigitalTrace::with_edges(false, vec![(2.0, true)])?;
+/// let y = gates::combine2(|a, b| a ^ b, &a, &b)?;
+/// assert!(!y.value_at(0.5));
+/// assert!(y.value_at(1.5));
+/// assert!(!y.value_at(2.5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn combine2<F: Fn(bool, bool) -> bool>(
+    f: F,
+    a: &DigitalTrace,
+    b: &DigitalTrace,
+) -> Result<DigitalTrace, SimError> {
+    let initial = f(a.initial_value(), b.initial_value());
+    let mut out = DigitalTrace::constant(initial);
+    let mut value = initial;
+    // Merge distinct event times from both inputs.
+    let mut times: Vec<f64> = a
+        .edges()
+        .iter()
+        .chain(b.edges().iter())
+        .map(|e| e.time)
+        .collect();
+    times.sort_by(|x, y| x.partial_cmp(y).expect("finite edge times"));
+    times.dedup();
+    for t in times {
+        let v = f(a.value_at(t), b.value_at(t));
+        if v != value {
+            out.push_edge(t, v)?;
+            value = v;
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a unary Boolean function (NOT / BUF) to a trace.
+///
+/// # Errors
+///
+/// See [`combine2`].
+pub fn map1<F: Fn(bool) -> bool>(f: F, a: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+    let initial = f(a.initial_value());
+    let mut out = DigitalTrace::constant(initial);
+    let mut value = initial;
+    for e in a.edges() {
+        let v = f(e.rising);
+        if v != value {
+            out.push_edge(e.time, v)?;
+            value = v;
+        }
+    }
+    Ok(out)
+}
+
+/// Zero-time NOR of two traces.
+///
+/// # Errors
+///
+/// See [`combine2`].
+pub fn nor(a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+    combine2(|x, y| !(x || y), a, b)
+}
+
+/// Zero-time NAND of two traces.
+///
+/// # Errors
+///
+/// See [`combine2`].
+pub fn nand(a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+    combine2(|x, y| !(x && y), a, b)
+}
+
+/// Zero-time AND.
+///
+/// # Errors
+///
+/// See [`combine2`].
+pub fn and(a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+    combine2(|x, y| x && y, a, b)
+}
+
+/// Zero-time OR.
+///
+/// # Errors
+///
+/// See [`combine2`].
+pub fn or(a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+    combine2(|x, y| x || y, a, b)
+}
+
+/// Zero-time XOR.
+///
+/// # Errors
+///
+/// See [`combine2`].
+pub fn xor(a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+    combine2(|x, y| x ^ y, a, b)
+}
+
+/// Zero-time inverter.
+///
+/// # Errors
+///
+/// See [`map1`].
+pub fn not(a: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+    map1(|x| !x, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse(t0: f64, t1: f64) -> DigitalTrace {
+        DigitalTrace::with_edges(false, vec![(t0, true), (t1, false)]).unwrap()
+    }
+
+    #[test]
+    fn nor_truth_over_time() {
+        let a = pulse(1.0, 3.0);
+        let b = pulse(2.0, 4.0);
+        let y = nor(&a, &b).unwrap();
+        assert!(y.value_at(0.5)); // 0,0 → 1
+        assert!(!y.value_at(1.5)); // 1,0 → 0
+        assert!(!y.value_at(2.5)); // 1,1 → 0
+        assert!(!y.value_at(3.5)); // 0,1 → 0
+        assert!(y.value_at(4.5)); // 0,0 → 1
+        assert_eq!(y.transition_count(), 2);
+    }
+
+    #[test]
+    fn simultaneous_edges_coalesce() {
+        // Both inputs rise at the same instant: one output event.
+        let a = pulse(1.0, 5.0);
+        let b = pulse(1.0, 5.0);
+        let y = nor(&a, &b).unwrap();
+        assert_eq!(y.transition_count(), 2);
+        assert_eq!(y.edges()[0].time, 1.0);
+        assert_eq!(y.edges()[1].time, 5.0);
+    }
+
+    #[test]
+    fn glitch_free_when_function_value_unchanged() {
+        // XOR of identical traces is constantly 0: no output events.
+        let a = pulse(1.0, 2.0);
+        let y = xor(&a, &a.clone()).unwrap();
+        assert_eq!(y.transition_count(), 0);
+        assert!(!y.initial_value());
+    }
+
+    #[test]
+    fn not_inverts() {
+        let a = pulse(1.0, 2.0);
+        let y = not(&a).unwrap();
+        assert!(y.initial_value());
+        assert!(!y.value_at(1.5));
+        assert!(y.value_at(2.5));
+    }
+
+    #[test]
+    fn and_or_nand() {
+        let a = pulse(1.0, 4.0);
+        let b = pulse(2.0, 3.0);
+        assert!(and(&a, &b).unwrap().value_at(2.5));
+        assert!(!and(&a, &b).unwrap().value_at(1.5));
+        assert!(or(&a, &b).unwrap().value_at(1.5));
+        assert!(!nand(&a, &b).unwrap().value_at(2.5));
+    }
+}

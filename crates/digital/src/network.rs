@@ -1,0 +1,328 @@
+use mis_waveform::DigitalTrace;
+
+use crate::channels::{TraceTransform, TwoInputTransform};
+use crate::{gates, SimError};
+
+/// Handle to a signal in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(usize);
+
+impl SignalId {
+    /// The signal's index into the trace vector returned by
+    /// [`Network::run`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Supported zero-time gate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Unary buffer.
+    Buf,
+    /// Unary inverter.
+    Not,
+    /// Two-input AND.
+    And,
+    /// Two-input OR.
+    Or,
+    /// Two-input NAND.
+    Nand,
+    /// Two-input NOR.
+    Nor,
+    /// Two-input XOR.
+    Xor,
+}
+
+impl GateKind {
+    /// The gate's input arity.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 2,
+        }
+    }
+}
+
+enum Source {
+    Input,
+    Gate {
+        kind: GateKind,
+        inputs: Vec<SignalId>,
+        channel: Option<Box<dyn TraceTransform>>,
+    },
+    TwoInputChannelGate {
+        inputs: [SignalId; 2],
+        channel: Box<dyn TwoInputTransform>,
+    },
+}
+
+/// A feed-forward network of zero-time gates and delay channels — the
+/// Involution Tool's circuit model.
+///
+/// Gates may only reference signals declared earlier, which makes the
+/// netlist acyclic by construction and evaluation a single forward pass.
+///
+/// # Examples
+///
+/// An inverter chain with exponential involution channels:
+///
+/// ```
+/// use mis_digital::{ExpChannel, GateKind, Network};
+/// use mis_waveform::{DigitalTrace, units::ps};
+///
+/// # fn main() -> Result<(), mis_digital::SimError> {
+/// let mut net = Network::new();
+/// let x = net.add_input("x");
+/// let ch = || Box::new(ExpChannel::from_sis_delay(ps(30.0), ps(10.0)).unwrap());
+/// let y1 = net.add_gate("y1", GateKind::Not, &[x], Some(ch()))?;
+/// let _y2 = net.add_gate("y2", GateKind::Not, &[y1], Some(ch()))?;
+/// let input = DigitalTrace::with_edges(false, vec![(ps(100.0), true)])?;
+/// let traces = net.run(&[input])?;
+/// // Two inversions restore polarity; two channels add 2×30 ps.
+/// assert!((traces.last().unwrap().edges()[0].time - ps(160.0)).abs() < ps(0.5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Network {
+    names: Vec<String>,
+    sources: Vec<Source>,
+    input_count: usize,
+}
+
+impl Network {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Network {
+            names: Vec::new(),
+            sources: Vec::new(),
+            input_count: 0,
+        }
+    }
+
+    /// Declares a primary input. All inputs must be declared before any
+    /// gate.
+    pub fn add_input(&mut self, name: &str) -> SignalId {
+        debug_assert_eq!(
+            self.input_count,
+            self.sources.len(),
+            "inputs must precede gates"
+        );
+        self.names.push(name.to_owned());
+        self.sources.push(Source::Input);
+        self.input_count += 1;
+        SignalId(self.sources.len() - 1)
+    }
+
+    /// Adds a zero-time gate with an optional single-input delay channel
+    /// on its output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Network`] for arity mismatches or references to
+    /// undeclared signals.
+    pub fn add_gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        inputs: &[SignalId],
+        channel: Option<Box<dyn TraceTransform>>,
+    ) -> Result<SignalId, SimError> {
+        if inputs.len() != kind.arity() {
+            return Err(SimError::Network {
+                reason: format!(
+                    "gate '{name}' ({kind:?}) needs {} inputs, got {}",
+                    kind.arity(),
+                    inputs.len()
+                ),
+            });
+        }
+        self.check_refs(name, inputs)?;
+        self.names.push(name.to_owned());
+        self.sources.push(Source::Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            channel,
+        });
+        Ok(SignalId(self.sources.len() - 1))
+    }
+
+    /// Adds a gate realized entirely by a two-input channel (gate function
+    /// *and* timing — the hybrid NOR).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Network`] for references to undeclared signals.
+    pub fn add_two_input_channel_gate(
+        &mut self,
+        name: &str,
+        inputs: [SignalId; 2],
+        channel: Box<dyn TwoInputTransform>,
+    ) -> Result<SignalId, SimError> {
+        self.check_refs(name, &inputs)?;
+        self.names.push(name.to_owned());
+        self.sources.push(Source::TwoInputChannelGate { inputs, channel });
+        Ok(SignalId(self.sources.len() - 1))
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// The name of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign [`SignalId`].
+    #[must_use]
+    pub fn signal_name(&self, id: SignalId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Evaluates the network: `inputs[i]` drives the i-th declared input;
+    /// returns one trace per signal (inputs included), indexable by
+    /// [`SignalId`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Network`] — wrong number of input traces.
+    /// * Propagates channel failures.
+    pub fn run(&self, inputs: &[DigitalTrace]) -> Result<Vec<DigitalTrace>, SimError> {
+        if inputs.len() != self.input_count {
+            return Err(SimError::Network {
+                reason: format!(
+                    "expected {} input traces, got {}",
+                    self.input_count,
+                    inputs.len()
+                ),
+            });
+        }
+        let mut traces: Vec<DigitalTrace> = Vec::with_capacity(self.sources.len());
+        for (i, source) in self.sources.iter().enumerate() {
+            let trace = match source {
+                Source::Input => inputs[i].clone(),
+                Source::Gate {
+                    kind,
+                    inputs: gin,
+                    channel,
+                } => {
+                    let ideal = match kind {
+                        GateKind::Buf => gates::map1(|x| x, &traces[gin[0].0])?,
+                        GateKind::Not => gates::not(&traces[gin[0].0])?,
+                        GateKind::And => gates::and(&traces[gin[0].0], &traces[gin[1].0])?,
+                        GateKind::Or => gates::or(&traces[gin[0].0], &traces[gin[1].0])?,
+                        GateKind::Nand => gates::nand(&traces[gin[0].0], &traces[gin[1].0])?,
+                        GateKind::Nor => gates::nor(&traces[gin[0].0], &traces[gin[1].0])?,
+                        GateKind::Xor => gates::xor(&traces[gin[0].0], &traces[gin[1].0])?,
+                    };
+                    match channel {
+                        Some(ch) => ch.apply(&ideal)?,
+                        None => ideal,
+                    }
+                }
+                Source::TwoInputChannelGate { inputs: gin, channel } => {
+                    channel.apply2(&traces[gin[0].0], &traces[gin[1].0])?
+                }
+            };
+            traces.push(trace);
+        }
+        Ok(traces)
+    }
+
+    fn check_refs(&self, name: &str, refs: &[SignalId]) -> Result<(), SimError> {
+        for r in refs {
+            if r.0 >= self.sources.len() {
+                return Err(SimError::Network {
+                    reason: format!("gate '{name}' references undeclared signal {}", r.0),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("signals", &self.names)
+            .field("inputs", &self.input_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HybridNorChannel, PureDelayChannel};
+    use mis_core::NorParams;
+    use mis_waveform::units::ps;
+
+    #[test]
+    fn zero_time_network_logic() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let y = net.add_gate("y", GateKind::Nor, &[a, b], None).unwrap();
+        let ta = DigitalTrace::with_edges(false, vec![(1.0, true)]).unwrap();
+        let tb = DigitalTrace::constant(false);
+        let traces = net.run(&[ta, tb]).unwrap();
+        assert!(traces[y.0 as usize].initial_value());
+        assert_eq!(traces[y.0].edges()[0].time, 1.0);
+    }
+
+    #[test]
+    fn channels_compose_along_paths() {
+        let mut net = Network::new();
+        let x = net.add_input("x");
+        let y1 = net
+            .add_gate(
+                "y1",
+                GateKind::Buf,
+                &[x],
+                Some(Box::new(PureDelayChannel::new(ps(5.0)).unwrap())),
+            )
+            .unwrap();
+        let y2 = net
+            .add_gate(
+                "y2",
+                GateKind::Buf,
+                &[y1],
+                Some(Box::new(PureDelayChannel::new(ps(7.0)).unwrap())),
+            )
+            .unwrap();
+        let input = DigitalTrace::with_edges(false, vec![(ps(100.0), true)]).unwrap();
+        let traces = net.run(&[input]).unwrap();
+        assert!((traces[y2.0].edges()[0].time - ps(112.0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn hybrid_gate_embeds_in_network() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let ch = Box::new(HybridNorChannel::new(&NorParams::paper_table1()).unwrap());
+        let y = net.add_two_input_channel_gate("y", [a, b], ch).unwrap();
+        let ta = DigitalTrace::with_edges(false, vec![(ps(100.0), true)]).unwrap();
+        let tb = DigitalTrace::with_edges(false, vec![(ps(110.0), true)]).unwrap();
+        let traces = net.run(&[ta, tb]).unwrap();
+        assert_eq!(traces[y.0].transition_count(), 1);
+        assert!(!traces[y.0].edges()[0].rising);
+    }
+
+    #[test]
+    fn arity_and_reference_validation() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        assert!(net.add_gate("bad", GateKind::Nor, &[a], None).is_err());
+        assert!(net
+            .add_gate("bad2", GateKind::Not, &[SignalId(99)], None)
+            .is_err());
+        assert!(net.run(&[]).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A matrix was (numerically) singular, so the requested factorization
+    /// or solve could not proceed. Carries the pivot column at which
+    /// elimination broke down.
+    Singular {
+        /// Column index of the vanishing pivot.
+        pivot: usize,
+    },
+    /// The operands' dimensions are incompatible with the requested
+    /// operation (e.g. multiplying a 2×3 by a 2×3, or solving a 3×3 system
+    /// with a length-2 right-hand side).
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape actually supplied.
+        found: String,
+    },
+    /// A constructor was given data inconsistent with the requested shape
+    /// (ragged rows, zero dimension, element count mismatch).
+    InvalidShape {
+        /// Description of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot in column {pivot})")
+            }
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::InvalidShape { reason } => {
+                write!(f, "invalid shape: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is singular (zero pivot in column 3)");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            expected: "2x2".into(),
+            found: "2x3".into(),
+        };
+        assert!(e.to_string().contains("expected 2x2"));
+        assert!(e.to_string().contains("found 2x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,271 @@
+use crate::{LinalgError, Matrix};
+
+/// LU decomposition with partial (row) pivoting: `P·A = L·U`.
+///
+/// The factorization is computed once and can then solve any number of
+/// right-hand sides — exactly the access pattern of a Newton iteration in
+/// the analog simulator, where the Jacobian is refactored per iteration but
+/// solved for a single residual, and of Levenberg–Marquardt, where the
+/// damped normal matrix is factored per trial step.
+///
+/// # Examples
+///
+/// ```
+/// use mis_linalg::{LuFactors, Matrix};
+///
+/// # fn main() -> Result<(), mis_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0],
+///                             &[4.0, -6.0, 0.0],
+///                             &[-2.0, 7.0, 2.0]])?;
+/// let lu = LuFactors::new(&a)?;
+/// let x = lu.solve(&[5.0, -2.0, 9.0])?;
+/// let r = a.matvec(&x)?;
+/// assert!((r[0] - 5.0).abs() < 1e-12);
+/// assert!((r[1] + 2.0).abs() < 1e-12);
+/// assert!((r[2] - 9.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined L (below diagonal, unit diagonal implied) and U (on and
+    /// above diagonal) in one matrix.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, ±1, for determinant computation.
+    perm_sign: f64,
+}
+
+/// Pivot magnitudes below this threshold (relative to the largest entry of
+/// the column during pivot search being exactly zero) are treated as
+/// singular. MNA matrices of connected circuits are well-conditioned at this
+/// scale, so an exact-zero test plus a tiny absolute floor suffices.
+const SINGULARITY_FLOOR: f64 = 1e-300;
+
+impl LuFactors {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot vanishes (matrix singular to
+    ///   working precision).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Pivot search: largest magnitude in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let mag = lu[(i, k)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if !(pivot_mag > SINGULARITY_FLOOR) {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(LuFactors {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal times the
+    /// permutation sign).
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let n = self.dim();
+        let mut d = self.perm_sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix, column by column.
+    ///
+    /// Exposed mainly for tests and small covariance computations in the
+    /// fitting code; solving against specific right-hand sides is always
+    /// preferable when applicable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LinalgError`] from the underlying solves (cannot
+    /// happen for a successfully constructed factorization, but the
+    /// signature stays honest).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn solve_known_3x3() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
+            .unwrap();
+        let lu = LuFactors::new(&a).unwrap();
+        let x = lu.solve(&[5.0, -2.0, 9.0]).unwrap();
+        // Known solution x = [1, 1, 2].
+        assert!(approx_eq(x[0], 1.0, 1e-12));
+        assert!(approx_eq(x[1], 1.0, 1e-12));
+        assert!(approx_eq(x[2], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Naive elimination without pivoting would divide by zero here.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuFactors::new(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert!(approx_eq(x[0], 3.0, 1e-14));
+        assert!(approx_eq(x[1], 2.0, 1e-14));
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuFactors::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactors::new(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_identity_and_swap() {
+        let i = Matrix::identity(3);
+        assert!(approx_eq(LuFactors::new(&i).unwrap().det(), 1.0, 1e-15));
+        // Swapping two rows of the identity flips the determinant's sign.
+        let s = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]])
+            .unwrap();
+        assert!(approx_eq(LuFactors::new(&s).unwrap().det(), -1.0, 1e-15));
+    }
+
+    #[test]
+    fn determinant_known_value() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]).unwrap();
+        assert!(approx_eq(LuFactors::new(&a).unwrap().det(), -14.0, 1e-12));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = LuFactors::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let lu = LuFactors::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solve_near_scaled_rows() {
+        // Badly row-scaled but non-singular system; partial pivoting should
+        // still produce an accurate answer.
+        let a = Matrix::from_rows(&[&[1e-8, 1.0], &[1.0, 1.0]]).unwrap();
+        let lu = LuFactors::new(&a).unwrap();
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        let r = a.matvec(&x).unwrap();
+        assert!(approx_eq(r[0], 1.0, 1e-10));
+        assert!(approx_eq(r[1], 2.0, 1e-10));
+    }
+}

@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumError {
+    /// A bracketing interval was invalid: the function does not change sign
+    /// over `[a, b]`, or the interval is degenerate.
+    InvalidBracket {
+        /// Left endpoint supplied.
+        a: f64,
+        /// Right endpoint supplied.
+        b: f64,
+        /// Diagnostic detail.
+        reason: String,
+    },
+    /// An iteration failed to converge within its budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Best residual / error estimate at abandonment.
+        residual: f64,
+    },
+    /// The objective or derivative returned a non-finite value.
+    NonFiniteValue {
+        /// Where the non-finite value was observed (e.g. input abscissa).
+        at: f64,
+    },
+    /// The caller supplied inconsistent or out-of-domain arguments.
+    InvalidInput {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An embedded linear solve failed (e.g. singular LM normal matrix).
+    LinearSolve(mis_linalg::LinalgError),
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::InvalidBracket { a, b, reason } => {
+                write!(f, "invalid bracket [{a}, {b}]: {reason}")
+            }
+            NumError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumError::NonFiniteValue { at } => {
+                write!(f, "non-finite function value near {at}")
+            }
+            NumError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            NumError::LinearSolve(e) => write!(f, "linear solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for NumError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NumError::LinearSolve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mis_linalg::LinalgError> for NumError {
+    fn from(e: mis_linalg::LinalgError) -> Self {
+        NumError::LinearSolve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = NumError::NoConvergence {
+            iterations: 50,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("50 iterations"));
+        let e = NumError::InvalidBracket {
+            a: 0.0,
+            b: 1.0,
+            reason: "no sign change".into(),
+        };
+        assert!(e.to_string().contains("no sign change"));
+    }
+
+    #[test]
+    fn wraps_linalg_error_with_source() {
+        use std::error::Error as _;
+        let inner = mis_linalg::LinalgError::Singular { pivot: 0 };
+        let e = NumError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

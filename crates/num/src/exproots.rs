@@ -1,0 +1,256 @@
+//! Exact root localization for two-exponential functions
+//! `f(t) = a·e^{λ₁t} + b·e^{λ₂t} − c`.
+//!
+//! Every per-mode output-voltage trajectory of the hybrid NOR model has
+//! exactly this form (one or two real exponentials plus a constant), so
+//! threshold-crossing extraction reduces to finding the roots of `f` on an
+//! interval. Such an `f` has **at most two** real roots, because its
+//! derivative `a·λ₁·e^{λ₁t} + b·λ₂·e^{λ₂t}` vanishes at most once (the
+//! ratio of two exponentials is monotone). This module brackets each
+//! monotone piece analytically and refines with Brent — crossings are never
+//! missed by sampling artifacts.
+
+use crate::{roots, NumError};
+
+/// Absolute tolerance for root refinement, as a fraction of `t_max`.
+const REL_XTOL: f64 = 1e-15;
+
+/// Returns all roots of `a·e^{l1·t} + b·e^{l2·t} = c` with `0 <= t <= t_max`,
+/// sorted increasingly.
+///
+/// Exponents may be zero (constant terms) or equal (the two terms merge).
+/// Positive exponents are accepted but the caller is responsible for
+/// keeping `t_max` small enough that `e^{l·t_max}` does not overflow.
+///
+/// # Errors
+///
+/// * [`NumError::InvalidInput`] — `t_max` is not positive and finite, or a
+///   coefficient is non-finite.
+///
+/// # Examples
+///
+/// A discharging RC output crossing half-swing:
+///
+/// ```
+/// # fn main() -> Result<(), mis_num::NumError> {
+/// // 0.8·e^{-t/τ} = 0.4  ⟹  t = τ·ln 2
+/// let tau = 25e-12;
+/// let r = mis_num::exproots::exp2_crossings(0.8, -1.0 / tau, 0.0, 0.0, 0.4, 1e-9)?;
+/// assert_eq!(r.len(), 1);
+/// assert!((r[0] - tau * std::f64::consts::LN_2).abs() < 1e-24);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exp2_crossings(
+    a: f64,
+    l1: f64,
+    b: f64,
+    l2: f64,
+    c: f64,
+    t_max: f64,
+) -> Result<Vec<f64>, NumError> {
+    if !(t_max > 0.0) || !t_max.is_finite() {
+        return Err(NumError::InvalidInput {
+            reason: "t_max must be positive and finite".into(),
+        });
+    }
+    for (name, v) in [("a", a), ("l1", l1), ("b", b), ("l2", l2), ("c", c)] {
+        if !v.is_finite() {
+            return Err(NumError::InvalidInput {
+                reason: format!("coefficient {name} is not finite"),
+            });
+        }
+    }
+
+    // Normalize: fold constant terms (λ = 0) into the offset, merge equal
+    // exponents, and drop zero coefficients.
+    let mut amp = Vec::<(f64, f64)>::new(); // (coefficient, exponent)
+    let mut offset = -c;
+    for (coef, lam) in [(a, l1), (b, l2)] {
+        if coef == 0.0 {
+            continue;
+        }
+        if lam == 0.0 {
+            offset += coef;
+        } else if let Some(slot) = amp.iter_mut().find(|(_, l)| *l == lam) {
+            slot.0 += coef;
+        } else {
+            amp.push((coef, lam));
+        }
+    }
+    amp.retain(|&(coef, _)| coef != 0.0);
+
+    match amp.len() {
+        0 => {
+            // Constant function: either no roots or "everywhere"; report none
+            // (a constant exactly on the threshold carries no crossing event).
+            Ok(Vec::new())
+        }
+        1 => {
+            // coef·e^{λt} + offset = 0 ⟹ t = ln(−offset/coef)/λ.
+            let (coef, lam) = amp[0];
+            let ratio = -offset / coef;
+            if ratio <= 0.0 {
+                return Ok(Vec::new());
+            }
+            let t = ratio.ln() / lam;
+            if (0.0..=t_max).contains(&t) {
+                Ok(vec![t])
+            } else {
+                Ok(Vec::new())
+            }
+        }
+        _ => {
+            let f = |t: f64| -> f64 {
+                let mut v = offset;
+                for &(coef, lam) in &amp {
+                    v += coef * (lam * t).exp();
+                }
+                v
+            };
+            // Two distinct exponentials: derivative vanishes at most once, at
+            // t* = ln(−(b·λ₂)/(a·λ₁)) / (λ₁ − λ₂).
+            let (ca, la) = amp[0];
+            let (cb, lb) = amp[1];
+            let ratio = -(cb * lb) / (ca * la);
+            let t_star = if ratio > 0.0 {
+                let t = ratio.ln() / (la - lb);
+                (t > 0.0 && t < t_max).then_some(t)
+            } else {
+                None
+            };
+            let mut pieces: Vec<(f64, f64)> = Vec::with_capacity(2);
+            match t_star {
+                Some(ts) => {
+                    pieces.push((0.0, ts));
+                    pieces.push((ts, t_max));
+                }
+                None => pieces.push((0.0, t_max)),
+            }
+            let xtol = REL_XTOL * t_max;
+            let mut out = Vec::new();
+            for (lo, hi) in pieces {
+                let flo = f(lo);
+                let fhi = f(hi);
+                if flo == 0.0 {
+                    push_unique(&mut out, lo, xtol);
+                    continue;
+                }
+                if fhi == 0.0 {
+                    push_unique(&mut out, hi, xtol);
+                    continue;
+                }
+                if flo.signum() != fhi.signum() {
+                    let r = roots::brent(&f, lo, hi, xtol)?;
+                    push_unique(&mut out, r, xtol);
+                }
+            }
+            out.sort_by(|x, y| x.partial_cmp(y).expect("finite roots"));
+            Ok(out)
+        }
+    }
+}
+
+fn push_unique(out: &mut Vec<f64>, r: f64, xtol: f64) {
+    if out.iter().all(|&x| (x - r).abs() > 2.0 * xtol) {
+        out.push(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_exponential_decay() {
+        // 1·e^{-2t} = 0.25 ⟹ t = ln(4)/2
+        let r = exp2_crossings(1.0, -2.0, 0.0, 0.0, 0.25, 10.0).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 4.0f64.ln() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_root_when_level_unreachable() {
+        // e^{-t} never reaches 2 for t >= 0.
+        assert!(exp2_crossings(1.0, -1.0, 0.0, 0.0, 2.0, 10.0)
+            .unwrap()
+            .is_empty());
+        // ... nor negative levels.
+        assert!(exp2_crossings(1.0, -1.0, 0.0, 0.0, -0.5, 10.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn root_beyond_t_max_excluded() {
+        let r = exp2_crossings(1.0, -1.0, 0.0, 0.0, 0.5, 0.1).unwrap();
+        assert!(r.is_empty(), "ln 2 ≈ 0.693 > 0.1");
+    }
+
+    #[test]
+    fn rising_saturating_curve() {
+        // 1 − e^{-t} = 0.5 written as −1·e^{-t} + 1·e^{0t} = 0.5.
+        let r = exp2_crossings(-1.0, -1.0, 1.0, 0.0, 0.5, 10.0).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_roots_from_non_monotone_sum() {
+        // f(t) = 5·e^{-5t} − 4·e^{-t}: f(0) = 1 > 0, dips negative, then
+        // approaches 0 from below... check f against level -0.5 which is
+        // crossed twice.
+        let f = |t: f64| 5.0 * (-5.0 * t).exp() - 4.0 * (-t).exp();
+        let r = exp2_crossings(5.0, -5.0, -4.0, -1.0, -0.5, 20.0).unwrap();
+        assert_eq!(r.len(), 2, "expected a dip through the level twice: {r:?}");
+        for &t in &r {
+            assert!((f(t) + 0.5).abs() < 1e-9);
+        }
+        assert!(r[0] < r[1]);
+    }
+
+    #[test]
+    fn equal_exponents_merge() {
+        // 0.3 e^{-t} + 0.7 e^{-t} = e^{-t}.
+        let r = exp2_crossings(0.3, -1.0, 0.7, -1.0, 0.5, 10.0).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancelling_coefficients_constant_zero() {
+        // 1·e^{-t} − 1·e^{-t} − 0 = 0 everywhere: report no crossing events.
+        let r = exp2_crossings(1.0, -1.0, -1.0, -1.0, 0.0, 10.0).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn root_at_zero_reported_once() {
+        // f(0) = 1 + 1 − 2 = 0.
+        let r = exp2_crossings(1.0, -1.0, 1.0, -2.0, 2.0, 10.0).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(exp2_crossings(1.0, -1.0, 0.0, 0.0, 0.5, 0.0).is_err());
+        assert!(exp2_crossings(f64::NAN, -1.0, 0.0, 0.0, 0.5, 1.0).is_err());
+        assert!(exp2_crossings(1.0, -1.0, 0.0, 0.0, 0.5, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn nor_mode_00_style_rise() {
+        // V_O(t) = VDD + c1·v1·e^{λ1 t} + c2·v2·e^{λ2 t} rising from 0 to
+        // VDD = 0.8, crossing 0.4 exactly once.
+        let vdd = 0.8;
+        // Pick a representative pair of decaying components with V_O(0)=0.
+        let (k1, k2) = (-0.55 * vdd, -0.25 * vdd);
+        let (l1, l2) = (-3.0e10, -0.8e10);
+        // roots of k1 e^{l1 t} + k2 e^{l2 t} = 0.4 − 0.8 = −0.4
+        let r = exp2_crossings(k1, l1, k2, l2, 0.4 - vdd, 1e-9).unwrap();
+        assert_eq!(r.len(), 1);
+        let f = k1 * (l1 * r[0]).exp() + k2 * (l2 * r[0]).exp() + vdd;
+        assert!((f - 0.4).abs() < 1e-10);
+    }
+}

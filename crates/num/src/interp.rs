@@ -1,0 +1,168 @@
+//! Piecewise-linear interpolation over sorted sample tables.
+
+use crate::NumError;
+
+/// Linear interpolation of `(xs, ys)` samples at `x`.
+///
+/// `xs` must be strictly increasing. Values outside the sample range are
+/// clamped to the boundary ordinates (constant extrapolation), which is the
+/// correct semantics for voltage waveforms that have settled before the
+/// first and after the last sample.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if the tables are empty, of unequal
+/// length, or `xs` is not strictly increasing.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mis_num::NumError> {
+/// let xs = [0.0, 1.0, 2.0];
+/// let ys = [0.0, 10.0, 0.0];
+/// assert_eq!(mis_num::interp::lerp_table(&xs, &ys, 0.5)?, 5.0);
+/// assert_eq!(mis_num::interp::lerp_table(&xs, &ys, -1.0)?, 0.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+pub fn lerp_table(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, NumError> {
+    validate_table(xs, ys)?;
+    Ok(lerp_table_unchecked(xs, ys, x))
+}
+
+/// [`lerp_table`] without validation, for hot loops over pre-validated
+/// tables. The caller must guarantee the invariants documented there; a
+/// violated invariant yields an unspecified (but memory-safe) result.
+#[must_use]
+pub fn lerp_table_unchecked(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    if x <= xs[0] {
+        return ys[0];
+    }
+    let last = xs.len() - 1;
+    if x >= xs[last] {
+        return ys[last];
+    }
+    // partition_point returns the first index with xs[i] > x.
+    let hi = xs.partition_point(|&v| v <= x);
+    let lo = hi - 1;
+    let t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+    ys[lo] + t * (ys[hi] - ys[lo])
+}
+
+/// Checks the table invariants shared by the interpolation routines.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] on empty/unequal tables or
+/// non-increasing abscissae.
+pub fn validate_table(xs: &[f64], ys: &[f64]) -> Result<(), NumError> {
+    if xs.is_empty() {
+        return Err(NumError::InvalidInput {
+            reason: "empty sample table".into(),
+        });
+    }
+    if xs.len() != ys.len() {
+        return Err(NumError::InvalidInput {
+            reason: format!("mismatched table lengths: {} vs {}", xs.len(), ys.len()),
+        });
+    }
+    if xs.windows(2).any(|w| !(w[1] > w[0])) {
+        return Err(NumError::InvalidInput {
+            reason: "abscissae not strictly increasing".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Finds all crossings of level `level` in the sampled curve `(xs, ys)`,
+/// returning `(x, rising)` pairs located by linear interpolation.
+///
+/// A sample exactly on the level is attributed to the segment that leaves
+/// it; flat segments on the level produce no crossing.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] under the same conditions as
+/// [`lerp_table`].
+pub fn level_crossings(xs: &[f64], ys: &[f64], level: f64) -> Result<Vec<(f64, bool)>, NumError> {
+    validate_table(xs, ys)?;
+    let mut out = Vec::new();
+    for i in 1..xs.len() {
+        let (y0, y1) = (ys[i - 1] - level, ys[i] - level);
+        if y0 == 0.0 && y1 == 0.0 {
+            continue;
+        }
+        let crosses = (y0 < 0.0 && y1 >= 0.0 && y1 != 0.0)
+            || (y0 > 0.0 && y1 <= 0.0 && y1 != 0.0)
+            || (y0 == 0.0 && y1 != 0.0 && i == 1)
+            || (y1 == 0.0 && y0 != 0.0);
+        if !crosses {
+            continue;
+        }
+        let t = y0 / (y0 - y1);
+        let x = xs[i - 1] + t * (xs[i] - xs[i - 1]);
+        out.push((x, y1 > y0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_midpoints_and_clamps() {
+        let xs = [0.0, 1.0, 3.0];
+        let ys = [0.0, 2.0, -2.0];
+        assert_eq!(lerp_table(&xs, &ys, 0.5).unwrap(), 1.0);
+        assert_eq!(lerp_table(&xs, &ys, 2.0).unwrap(), 0.0);
+        assert_eq!(lerp_table(&xs, &ys, -5.0).unwrap(), 0.0);
+        assert_eq!(lerp_table(&xs, &ys, 99.0).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn lerp_exact_sample_points() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [5.0, 7.0, 9.0];
+        for i in 0..3 {
+            assert_eq!(lerp_table(&xs, &ys, xs[i]).unwrap(), ys[i]);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_tables() {
+        assert!(lerp_table(&[], &[], 0.0).is_err());
+        assert!(lerp_table(&[0.0, 1.0], &[0.0], 0.0).is_err());
+        assert!(lerp_table(&[0.0, 0.0], &[1.0, 2.0], 0.0).is_err());
+        assert!(lerp_table(&[1.0, 0.0], &[1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn crossings_simple_ramp() {
+        let xs = [0.0, 1.0];
+        let ys = [0.0, 1.0];
+        let c = level_crossings(&xs, &ys, 0.5).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!((c[0].0 - 0.5).abs() < 1e-15);
+        assert!(c[0].1, "rising");
+    }
+
+    #[test]
+    fn crossings_pulse_counts_both_edges() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.0, 1.0, 0.0];
+        let c = level_crossings(&xs, &ys, 0.5).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c[0].1);
+        assert!(!c[1].1);
+        assert!((c[0].0 - 0.5).abs() < 1e-15);
+        assert!((c[1].0 - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn flat_at_level_produces_no_crossings() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.5, 0.5, 0.5];
+        assert!(level_crossings(&xs, &ys, 0.5).unwrap().is_empty());
+    }
+}

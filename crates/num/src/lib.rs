@@ -1,0 +1,32 @@
+//! Numerics substrate for the mis-delay workspace.
+//!
+//! The paper's workflow leans on three numerical capabilities that its
+//! authors obtained from MATLAB and hand analysis; this crate provides them
+//! from scratch:
+//!
+//! * **Root finding** ([`roots`]) — inverting switching waveforms to find
+//!   threshold-crossing times (Brent's method, bisection, bracket search).
+//! * **Minimization and least squares** ([`minimize`], [`lm`]) —
+//!   golden-section 1-D search (the paper validates its formulas with
+//!   MATLAB's `fminbnd`), Nelder–Mead simplex and Levenberg–Marquardt for
+//!   the model parametrization of Section V.
+//! * **ODE integration** ([`ode`]) — an adaptive Dormand–Prince RK45
+//!   integrator used to *validate* the analytic per-mode solutions of the
+//!   hybrid model, and fixed-step RK4 for simple reference curves.
+//!
+//! Plus the small interpolation/quadrature helpers ([`interp`], [`quad`])
+//! shared by the waveform tooling.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod exproots;
+pub mod interp;
+pub mod lm;
+pub mod minimize;
+pub mod ode;
+pub mod quad;
+pub mod roots;
+
+pub use error::NumError;

@@ -1,0 +1,358 @@
+//! Levenberg–Marquardt nonlinear least squares with finite-difference
+//! Jacobians.
+//!
+//! This is the fitting engine behind the Table I parametrization: given
+//! measured characteristic Charlie delays and the hybrid model's predicted
+//! delays as a function of `(R1..R4, C_N, C_O)`, [`levenberg_marquardt`]
+//! minimizes the sum of squared residuals. Parameters that must stay
+//! positive (all of them, here) are handled by the caller fitting in
+//! log-space.
+
+use mis_linalg::{LuFactors, Matrix};
+
+use crate::NumError;
+
+/// Configuration for [`levenberg_marquardt`].
+#[derive(Debug, Clone)]
+pub struct LmConfig {
+    /// Maximum outer iterations (Jacobian evaluations).
+    pub max_iterations: usize,
+    /// Stop when the max-norm of the step falls below `xtol * (1 + |x|)`.
+    pub xtol: f64,
+    /// Stop when the relative reduction of the cost falls below `ftol`.
+    pub ftol: f64,
+    /// Initial damping parameter λ.
+    pub initial_lambda: f64,
+    /// Relative step for forward-difference Jacobians.
+    pub fd_step: f64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        LmConfig {
+            max_iterations: 100,
+            xtol: 1e-12,
+            ftol: 1e-14,
+            initial_lambda: 1e-3,
+            fd_step: 1e-7,
+        }
+    }
+}
+
+/// Result of a Levenberg–Marquardt fit.
+#[derive(Debug, Clone)]
+pub struct LmFit {
+    /// Fitted parameter vector.
+    pub x: Vec<f64>,
+    /// Final cost: ½·Σ rᵢ².
+    pub cost: f64,
+    /// Final residual vector.
+    pub residuals: Vec<f64>,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether a convergence criterion (rather than the budget) stopped the
+    /// fit.
+    pub converged: bool,
+}
+
+/// Minimizes `½·‖r(x)‖²` where `r` maps `n` parameters to `m >= n`
+/// residuals.
+///
+/// The Jacobian is approximated by forward differences; the damped normal
+/// equations `(JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀr` are solved with LU, with λ
+/// adapted multiplicatively (accept → λ/3, reject → λ·2, clamped).
+///
+/// # Errors
+///
+/// * [`NumError::InvalidInput`] — empty parameter vector, or fewer
+///   residuals than parameters.
+/// * [`NumError::NonFiniteValue`] — residuals are non-finite at the start
+///   point.
+/// * [`NumError::LinearSolve`] — the damped normal matrix became singular
+///   (degenerate Jacobian and λ exhausted).
+///
+/// # Examples
+///
+/// Fitting an exponential decay `y = a·e^{−b·t}`:
+///
+/// ```
+/// use mis_num::lm::{levenberg_marquardt, LmConfig};
+///
+/// # fn main() -> Result<(), mis_num::NumError> {
+/// let ts: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+/// let data: Vec<f64> = ts.iter().map(|t| 2.0 * (-1.5 * t).exp()).collect();
+/// let fit = levenberg_marquardt(
+///     |p, out| {
+///         for (i, t) in ts.iter().enumerate() {
+///             out[i] = p[0] * (-p[1] * t).exp() - data[i];
+///         }
+///     },
+///     &[1.0, 1.0],
+///     ts.len(),
+///     &LmConfig::default(),
+/// )?;
+/// assert!((fit.x[0] - 2.0).abs() < 1e-6);
+/// assert!((fit.x[1] - 1.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levenberg_marquardt<F>(
+    mut residuals_fn: F,
+    x0: &[f64],
+    m: usize,
+    config: &LmConfig,
+) -> Result<LmFit, NumError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let n = x0.len();
+    if n == 0 {
+        return Err(NumError::InvalidInput {
+            reason: "empty parameter vector".into(),
+        });
+    }
+    if m < n {
+        return Err(NumError::InvalidInput {
+            reason: format!("need at least as many residuals ({m}) as parameters ({n})"),
+        });
+    }
+
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; m];
+    residuals_fn(&x, &mut r);
+    if r.iter().any(|v| !v.is_finite()) {
+        return Err(NumError::NonFiniteValue { at: 0.0 });
+    }
+    let mut cost = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
+    let mut lambda = config.initial_lambda;
+    let mut jac = Matrix::zeros(m, n);
+    let mut r_pert = vec![0.0; m];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Forward-difference Jacobian.
+        for j in 0..n {
+            let old = x[j];
+            let h = config.fd_step * (1.0 + old.abs());
+            x[j] = old + h;
+            residuals_fn(&x, &mut r_pert);
+            x[j] = old;
+            for i in 0..m {
+                jac[(i, j)] = (r_pert[i] - r[i]) / h;
+            }
+        }
+        // Normal matrix JᵀJ and gradient Jᵀr.
+        let mut jtj = Matrix::zeros(n, n);
+        let mut jtr = vec![0.0; n];
+        for i in 0..m {
+            for a in 0..n {
+                jtr[a] += jac[(i, a)] * r[i];
+                for b in a..n {
+                    jtj[(a, b)] += jac[(i, a)] * jac[(i, b)];
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..a {
+                jtj[(a, b)] = jtj[(b, a)];
+            }
+        }
+        let grad_norm = jtr.iter().fold(0.0_f64, |mx, v| mx.max(v.abs()));
+        if grad_norm < 1e-14 * (1.0 + cost) {
+            converged = true;
+            break;
+        }
+
+        // Try damped steps until one reduces the cost or λ saturates.
+        let mut accepted = false;
+        for _ in 0..30 {
+            let mut damped = jtj.clone();
+            for a in 0..n {
+                // Marquardt scaling: damp proportionally to the diagonal,
+                // with a floor so zero-curvature directions remain solvable.
+                let d = jtj[(a, a)].max(1e-12);
+                damped[(a, a)] += lambda * d;
+            }
+            let lu = match LuFactors::new(&damped) {
+                Ok(lu) => lu,
+                Err(_) => {
+                    lambda *= 10.0;
+                    continue;
+                }
+            };
+            let neg_grad: Vec<f64> = jtr.iter().map(|v| -v).collect();
+            let step = lu.solve(&neg_grad)?;
+            let x_trial: Vec<f64> = x.iter().zip(&step).map(|(a, s)| a + s).collect();
+            residuals_fn(&x_trial, &mut r_pert);
+            let cost_trial = if r_pert.iter().all(|v| v.is_finite()) {
+                0.5 * r_pert.iter().map(|v| v * v).sum::<f64>()
+            } else {
+                f64::INFINITY
+            };
+            if cost_trial < cost {
+                let step_norm = step.iter().fold(0.0_f64, |mx, v| mx.max(v.abs()));
+                let x_norm = x.iter().fold(0.0_f64, |mx, v| mx.max(v.abs()));
+                let cost_drop = cost - cost_trial;
+                x = x_trial;
+                std::mem::swap(&mut r, &mut r_pert);
+                cost = cost_trial;
+                lambda = (lambda / 3.0).max(1e-12);
+                accepted = true;
+                if step_norm < config.xtol * (1.0 + x_norm)
+                    || cost_drop < config.ftol * (1.0 + cost)
+                {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 2.0;
+            if lambda > 1e12 {
+                break;
+            }
+        }
+        if !accepted {
+            // λ saturated without improvement: local minimum (or stall).
+            converged = true;
+            break;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    Ok(LmFit {
+        x,
+        cost,
+        residuals: r,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_model_exactly() {
+        // y = 3x + 2 sampled without noise: LM must recover (3, 2).
+        let ts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let fit = levenberg_marquardt(
+            |p, out| {
+                for (i, t) in ts.iter().enumerate() {
+                    out[i] = p[0] * t + p[1] - (3.0 * t + 2.0);
+                }
+            },
+            &[0.0, 0.0],
+            ts.len(),
+            &LmConfig::default(),
+        )
+        .unwrap();
+        assert!((fit.x[0] - 3.0).abs() < 1e-8);
+        assert!((fit.x[1] - 2.0).abs() < 1e-8);
+        assert!(fit.cost < 1e-16);
+        assert!(fit.converged);
+    }
+
+    #[test]
+    fn fits_exponential() {
+        let ts: Vec<f64> = (0..30).map(|i| i as f64 * 0.05).collect();
+        let data: Vec<f64> = ts.iter().map(|t| 0.8 * (-t / 0.3).exp()).collect();
+        let fit = levenberg_marquardt(
+            |p, out| {
+                for (i, t) in ts.iter().enumerate() {
+                    out[i] = p[0] * (-t / p[1]).exp() - data[i];
+                }
+            },
+            &[1.0, 1.0],
+            ts.len(),
+            &LmConfig::default(),
+        )
+        .unwrap();
+        assert!((fit.x[0] - 0.8).abs() < 1e-6, "a = {}", fit.x[0]);
+        assert!((fit.x[1] - 0.3).abs() < 1e-6, "tau = {}", fit.x[1]);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_lands_near_truth() {
+        // Deterministic pseudo-noise; the fit should land near the truth
+        // but not exactly on it.
+        let ts: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let data: Vec<f64> = ts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| 2.0 * t + 1.0 + 0.01 * ((i * 2654435761) % 97) as f64 / 97.0)
+            .collect();
+        let fit = levenberg_marquardt(
+            |p, out| {
+                for (i, t) in ts.iter().enumerate() {
+                    out[i] = p[0] * t + p[1] - data[i];
+                }
+            },
+            &[0.0, 0.0],
+            ts.len(),
+            &LmConfig::default(),
+        )
+        .unwrap();
+        assert!((fit.x[0] - 2.0).abs() < 0.01);
+        assert!((fit.x[1] - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn rejects_underdetermined_problem() {
+        assert!(matches!(
+            levenberg_marquardt(|_, out| out[0] = 0.0, &[1.0, 2.0], 1, &LmConfig::default()),
+            Err(NumError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_parameters() {
+        assert!(levenberg_marquardt(|_, _| {}, &[], 3, &LmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_start() {
+        assert!(matches!(
+            levenberg_marquardt(
+                |_, out| out.fill(f64::NAN),
+                &[1.0],
+                2,
+                &LmConfig::default()
+            ),
+            Err(NumError::NonFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn survives_nan_pockets_during_search() {
+        // Residual is NaN for p < 0; start at p = 5, minimum at p = 1.
+        let fit = levenberg_marquardt(
+            |p, out| {
+                out[0] = if p[0] < 0.0 { f64::NAN } else { p[0] - 1.0 };
+                out[1] = 0.0;
+            },
+            &[5.0],
+            2,
+            &LmConfig::default(),
+        )
+        .unwrap();
+        assert!((fit.x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stalls_gracefully_on_flat_objective() {
+        let fit = levenberg_marquardt(
+            |_, out| out.fill(1.0),
+            &[0.5, 0.5],
+            3,
+            &LmConfig::default(),
+        )
+        .unwrap();
+        // Nothing to improve; must terminate claiming convergence-at-stall.
+        assert!(fit.converged);
+        assert!((fit.cost - 1.5).abs() < 1e-12);
+    }
+}

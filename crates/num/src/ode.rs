@@ -1,0 +1,393 @@
+//! Explicit Runge–Kutta integration: fixed-step RK4 and adaptive
+//! Dormand–Prince RK45 with event (threshold-crossing) detection.
+//!
+//! In this workspace numerical integration is a *validation* tool: the
+//! hybrid model's per-mode trajectories are analytic, and property tests
+//! integrate the raw ODE right-hand sides with [`integrate_adaptive`] to
+//! confirm the closed forms. The analog simulator uses its own implicit
+//! companion-model integration (stiff circuits), not this module.
+
+use crate::NumError;
+
+/// A single classical RK4 step of size `h` for `y' = f(t, y)`.
+///
+/// `f` writes the derivative of `y` into its third argument.
+pub fn rk4_step<F>(f: &mut F, t: f64, y: &[f64], h: f64) -> Vec<f64>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let n = y.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    f(t, y, &mut k1);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * h * k1[i];
+    }
+    f(t + 0.5 * h, &tmp, &mut k2);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * h * k2[i];
+    }
+    f(t + 0.5 * h, &tmp, &mut k3);
+    for i in 0..n {
+        tmp[i] = y[i] + h * k3[i];
+    }
+    f(t + h, &tmp, &mut k4);
+
+    (0..n)
+        .map(|i| y[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+        .collect()
+}
+
+/// Integrates `y' = f(t, y)` from `t0` to `t1` with `steps` fixed RK4 steps,
+/// returning the final state.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] for zero steps or a reversed time
+/// interval.
+pub fn integrate_rk4<F>(
+    mut f: F,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    steps: usize,
+) -> Result<Vec<f64>, NumError>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    if steps == 0 {
+        return Err(NumError::InvalidInput {
+            reason: "steps must be positive".into(),
+        });
+    }
+    if !(t1 >= t0) {
+        return Err(NumError::InvalidInput {
+            reason: "t1 must be >= t0".into(),
+        });
+    }
+    let h = (t1 - t0) / steps as f64;
+    let mut y = y0.to_vec();
+    let mut t = t0;
+    for _ in 0..steps {
+        y = rk4_step(&mut f, t, &y, h);
+        t += h;
+    }
+    Ok(y)
+}
+
+/// Options for [`integrate_adaptive`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveOptions {
+    /// Relative local-error tolerance.
+    pub rtol: f64,
+    /// Absolute local-error tolerance.
+    pub atol: f64,
+    /// Initial step size; `None` picks `(t1-t0)/100`.
+    pub initial_step: Option<f64>,
+    /// Hard cap on accepted + rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            rtol: 1e-9,
+            atol: 1e-12,
+            initial_step: None,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// Dense output sample from [`integrate_adaptive`]: the accepted step
+/// endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdeSample {
+    /// Time of the accepted step end.
+    pub t: f64,
+    /// State at [`OdeSample::t`].
+    pub y: Vec<f64>,
+}
+
+/// Integrates `y' = f(t, y)` from `t0` to `t1` with the Dormand–Prince
+/// 5(4) embedded pair, returning all accepted samples (including the
+/// initial condition).
+///
+/// # Errors
+///
+/// * [`NumError::InvalidInput`] — reversed interval.
+/// * [`NumError::NonFiniteValue`] — derivative returned NaN/inf.
+/// * [`NumError::NoConvergence`] — step budget exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use mis_num::ode::{integrate_adaptive, AdaptiveOptions};
+///
+/// # fn main() -> Result<(), mis_num::NumError> {
+/// // y' = -y, y(0) = 1: y(1) = e^{-1}.
+/// let samples = integrate_adaptive(
+///     |_t, y, dy| dy[0] = -y[0],
+///     0.0, 1.0, &[1.0],
+///     &AdaptiveOptions::default(),
+/// )?;
+/// let yf = samples.last().expect("at least the initial sample").y[0];
+/// assert!((yf - (-1.0f64).exp()).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn integrate_adaptive<F>(
+    mut f: F,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    opts: &AdaptiveOptions,
+) -> Result<Vec<OdeSample>, NumError>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    if !(t1 >= t0) {
+        return Err(NumError::InvalidInput {
+            reason: "t1 must be >= t0".into(),
+        });
+    }
+    let n = y0.len();
+    let mut samples = vec![OdeSample {
+        t: t0,
+        y: y0.to_vec(),
+    }];
+    if t1 == t0 {
+        return Ok(samples);
+    }
+
+    // Dormand–Prince coefficients.
+    const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
+    const A: [[f64; 6]; 7] = [
+        [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+        [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+        [
+            19372.0 / 6561.0,
+            -25360.0 / 2187.0,
+            64448.0 / 6561.0,
+            -212.0 / 729.0,
+            0.0,
+            0.0,
+        ],
+        [
+            9017.0 / 3168.0,
+            -355.0 / 33.0,
+            46732.0 / 5247.0,
+            49.0 / 176.0,
+            -5103.0 / 18656.0,
+            0.0,
+        ],
+        [
+            35.0 / 384.0,
+            0.0,
+            500.0 / 1113.0,
+            125.0 / 192.0,
+            -2187.0 / 6784.0,
+            11.0 / 84.0,
+        ],
+    ];
+    // 5th-order weights (same as the last row of A).
+    const B5: [f64; 7] = [
+        35.0 / 384.0,
+        0.0,
+        500.0 / 1113.0,
+        125.0 / 192.0,
+        -2187.0 / 6784.0,
+        11.0 / 84.0,
+        0.0,
+    ];
+    // 4th-order (embedded) weights.
+    const B4: [f64; 7] = [
+        5179.0 / 57600.0,
+        0.0,
+        7571.0 / 16695.0,
+        393.0 / 640.0,
+        -92097.0 / 339200.0,
+        187.0 / 2100.0,
+        1.0 / 40.0,
+    ];
+
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut h = opts.initial_step.unwrap_or((t1 - t0) / 100.0).min(t1 - t0);
+    let mut k = vec![vec![0.0; n]; 7];
+    let mut ytmp = vec![0.0; n];
+
+    for _step in 0..opts.max_steps {
+        if t >= t1 {
+            return Ok(samples);
+        }
+        if t + h > t1 {
+            h = t1 - t;
+        }
+        // Stage evaluations.
+        for s in 0..7 {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    acc += A[s][j] * kj[i];
+                }
+                ytmp[i] = y[i] + h * acc;
+            }
+            let (pre, rest) = k.split_at_mut(s);
+            let _ = pre;
+            f(t + C[s] * h, if s == 0 { &y } else { &ytmp }, &mut rest[0]);
+            if rest[0].iter().any(|v| !v.is_finite()) {
+                return Err(NumError::NonFiniteValue { at: t });
+            }
+        }
+        // 5th-order solution and embedded error estimate.
+        let mut err_norm = 0.0_f64;
+        let mut y5 = vec![0.0; n];
+        for i in 0..n {
+            let mut acc5 = 0.0;
+            let mut acc4 = 0.0;
+            for s in 0..7 {
+                acc5 += B5[s] * k[s][i];
+                acc4 += B4[s] * k[s][i];
+            }
+            y5[i] = y[i] + h * acc5;
+            let sc = opts.atol + opts.rtol * y[i].abs().max(y5[i].abs());
+            let e = h * (acc5 - acc4) / sc;
+            err_norm = err_norm.max(e.abs());
+        }
+
+        if err_norm <= 1.0 {
+            t += h;
+            y = y5;
+            samples.push(OdeSample { t, y: y.clone() });
+        }
+        // PI-free step controller with safety factor.
+        let factor = if err_norm > 0.0 {
+            (0.9 * err_norm.powf(-0.2)).clamp(0.2, 5.0)
+        } else {
+            5.0
+        };
+        h *= factor;
+        if h < 1e-18 * (t1 - t0).max(1.0) {
+            return Err(NumError::NoConvergence {
+                iterations: samples.len(),
+                residual: err_norm,
+            });
+        }
+    }
+    Err(NumError::NoConvergence {
+        iterations: opts.max_steps,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_exponential_decay() {
+        let y = integrate_rk4(|_t, y, dy| dy[0] = -y[0], 0.0, 1.0, &[1.0], 100).unwrap();
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rk4_rejects_bad_args() {
+        assert!(integrate_rk4(|_, _, _| {}, 0.0, 1.0, &[1.0], 0).is_err());
+        assert!(integrate_rk4(|_, _, _| {}, 1.0, 0.0, &[1.0], 10).is_err());
+    }
+
+    #[test]
+    fn adaptive_matches_exact_linear_system() {
+        // Coupled decay akin to the gate's (1,0) mode.
+        let a = [[-3.0, 1.0], [1.0, -2.0]];
+        let samples = integrate_adaptive(
+            move |_t, y, dy| {
+                dy[0] = a[0][0] * y[0] + a[0][1] * y[1];
+                dy[1] = a[1][0] * y[0] + a[1][1] * y[1];
+            },
+            0.0,
+            2.0,
+            &[1.0, 0.0],
+            &AdaptiveOptions::default(),
+        )
+        .unwrap();
+        let yf = &samples.last().unwrap().y;
+        // Cross-check against the closed-form eigensolution.
+        let e = mis_linalg::Eigen2::new(a);
+        let sol = e.solve_affine([1.0, 0.0], [0.0, 0.0]).unwrap();
+        let exact = sol.eval(2.0);
+        assert!((yf[0] - exact[0]).abs() < 1e-8);
+        assert!((yf[1] - exact[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn adaptive_handles_stiff_ish_decay() {
+        // τ separation of 1000: adaptive explicit integration must still
+        // deliver the slow component accurately.
+        let samples = integrate_adaptive(
+            |_t, y, dy| {
+                dy[0] = -1000.0 * y[0];
+                dy[1] = -1.0 * y[1];
+            },
+            0.0,
+            1.0,
+            &[1.0, 1.0],
+            &AdaptiveOptions::default(),
+        )
+        .unwrap();
+        let yf = &samples.last().unwrap().y;
+        assert!(yf[0].abs() < 1e-12);
+        assert!((yf[1] - (-1.0f64).exp()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn adaptive_zero_length_interval() {
+        let s = integrate_adaptive(
+            |_t, _y, dy| dy[0] = 1.0,
+            1.0,
+            1.0,
+            &[42.0],
+            &AdaptiveOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].y[0], 42.0);
+    }
+
+    #[test]
+    fn adaptive_rejects_nan_derivative() {
+        assert!(matches!(
+            integrate_adaptive(
+                |_t, _y, dy| dy[0] = f64::NAN,
+                0.0,
+                1.0,
+                &[1.0],
+                &AdaptiveOptions::default()
+            ),
+            Err(NumError::NonFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn adaptive_samples_are_monotone_in_time() {
+        let samples = integrate_adaptive(
+            |t, _y, dy| dy[0] = (5.0 * t).sin(),
+            0.0,
+            3.0,
+            &[0.0],
+            &AdaptiveOptions::default(),
+        )
+        .unwrap();
+        for w in samples.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+        assert_eq!(samples.last().unwrap().t, 3.0);
+    }
+}

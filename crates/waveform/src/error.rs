@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by waveform and trace construction or analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// Sample or edge times are not strictly increasing, or a trace's edge
+    /// polarities do not alternate.
+    NotMonotonic {
+        /// Index of the offending sample/edge.
+        index: usize,
+        /// Description of the violation.
+        reason: String,
+    },
+    /// Empty input where at least one sample/edge is required.
+    Empty,
+    /// Inconsistent argument combination (mismatched lengths, reversed
+    /// windows, non-positive slew, ...).
+    InvalidInput {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A numeric value was NaN or infinite.
+    NonFinite {
+        /// Index of the offending value.
+        index: usize,
+    },
+    /// An underlying numeric routine failed.
+    Numeric(mis_num::NumError),
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::NotMonotonic { index, reason } => {
+                write!(f, "non-monotonic data at index {index}: {reason}")
+            }
+            WaveformError::Empty => write!(f, "empty waveform or trace"),
+            WaveformError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            WaveformError::NonFinite { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
+            WaveformError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl Error for WaveformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WaveformError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mis_num::NumError> for WaveformError {
+    fn from(e: mis_num::NumError) -> Self {
+        WaveformError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(WaveformError::Empty.to_string().contains("empty"));
+        let e = WaveformError::NotMonotonic {
+            index: 4,
+            reason: "t[4] <= t[3]".into(),
+        };
+        assert!(e.to_string().contains("index 4"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<WaveformError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! Waveforms, traces, digitization and the deviation-area accuracy metric.
+//!
+//! This crate is the shared signal vocabulary of the workspace:
+//!
+//! * [`AnalogWaveform`] — a sampled voltage-vs-time curve, as produced by
+//!   the analog simulator (`mis-analog`) and consumed for threshold
+//!   extraction and digitization.
+//! * [`DigitalTrace`] — a binary signal as an initial value plus a strictly
+//!   increasing, alternating edge list; the unit of exchange of the digital
+//!   timing simulator (`mis-digital`).
+//! * [`deviation_area`] — the paper's Fig. 7 accuracy metric: the integral
+//!   of the absolute difference between two digitized traces.
+//! * [`generate`] — random input-trace generation matching the paper's
+//!   `µ/σ – LOCAL/GLOBAL` waveform configurations.
+//!
+//! # Examples
+//!
+//! Digitizing an analog ramp and measuring a deviation area:
+//!
+//! ```
+//! use mis_waveform::{AnalogWaveform, DigitalTrace, deviation_area};
+//!
+//! # fn main() -> Result<(), mis_waveform::WaveformError> {
+//! let ramp = AnalogWaveform::from_samples(vec![0.0, 1e-9], vec![0.0, 0.8])?;
+//! let trace = ramp.digitize(0.4)?;           // crosses V_th at 0.5 ns
+//! assert_eq!(trace.edges().len(), 1);
+//!
+//! let ideal = DigitalTrace::with_edges(false, vec![(0.5e-9, true)])?;
+//! assert!(deviation_area(&trace, &ideal, 0.0, 1e-9)? < 1e-15);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analog;
+mod digital;
+mod error;
+pub mod generate;
+pub mod units;
+
+pub use analog::AnalogWaveform;
+pub use digital::{deviation_area, DigitalTrace, Edge};
+pub use error::WaveformError;

@@ -1,0 +1,90 @@
+//! Composing circuits from gates and channels: a two-level NOR network
+//! (y = NOR(NOR(a,b), NOR(c,d))) where the first level uses hybrid
+//! two-input channels and the second level compares hybrid vs inertial
+//! timing — demonstrating how MIS-aware channels change glitch behaviour
+//! deeper in a circuit.
+//!
+//! Run: `cargo run --release --example circuit_network`
+
+use mis_delay::core::NorParams;
+use mis_delay::digital::{
+    GateKind, HybridNorChannel, InertialChannel, Network,
+};
+use mis_delay::waveform::units::{ps, to_ps};
+use mis_delay::waveform::DigitalTrace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = NorParams::paper_table1();
+
+    // Network 1: all three NOR gates are hybrid channels.
+    let mut hybrid_net = Network::new();
+    let a = hybrid_net.add_input("a");
+    let b = hybrid_net.add_input("b");
+    let c = hybrid_net.add_input("c");
+    let d = hybrid_net.add_input("d");
+    let n1 = hybrid_net.add_two_input_channel_gate(
+        "n1",
+        [a, b],
+        Box::new(HybridNorChannel::new(&params)?),
+    )?;
+    let n2 = hybrid_net.add_two_input_channel_gate(
+        "n2",
+        [c, d],
+        Box::new(HybridNorChannel::new(&params)?),
+    )?;
+    let y_hybrid = hybrid_net.add_two_input_channel_gate(
+        "y",
+        [n1, n2],
+        Box::new(HybridNorChannel::new(&params)?),
+    )?;
+
+    // Network 2: same topology, inertial channels behind zero-time gates.
+    let mut inertial_net = Network::new();
+    let ia = inertial_net.add_input("a");
+    let ib = inertial_net.add_input("b");
+    let ic = inertial_net.add_input("c");
+    let id = inertial_net.add_input("d");
+    let ch = || InertialChannel::symmetric(ps(55.0), ps(39.0)).map(|c| Box::new(c) as Box<_>);
+    let m1 = inertial_net.add_gate("n1", GateKind::Nor, &[ia, ib], Some(ch()?))?;
+    let m2 = inertial_net.add_gate("n2", GateKind::Nor, &[ic, id], Some(ch()?))?;
+    let y_inertial = inertial_net.add_gate("y", GateKind::Nor, &[m1, m2], Some(ch()?))?;
+
+    // Stimulus: a and b rise 12 ps apart (MIS region on gate n1); c stays
+    // low, d pulses briefly.
+    let ta = DigitalTrace::with_edges(false, vec![(ps(200.0), true)])?;
+    let tb = DigitalTrace::with_edges(false, vec![(ps(212.0), true)])?;
+    let tc_ = DigitalTrace::constant(false);
+    let td = DigitalTrace::with_edges(false, vec![(ps(230.0), true), (ps(260.0), false)])?;
+
+    let hybrid_out = hybrid_net.run(&[ta.clone(), tb.clone(), tc_.clone(), td.clone()])?;
+    let inertial_out = inertial_net.run(&[ta, tb, tc_, td])?;
+
+    let describe = |name: &str, t: &DigitalTrace| {
+        print!("  {name}: initial {} |", u8::from(t.initial_value()));
+        for e in t.edges() {
+            print!(
+                " {}@{:.2}ps",
+                if e.rising { "rise" } else { "fall" },
+                to_ps(e.time)
+            );
+        }
+        println!();
+    };
+
+    println!("hybrid-channel network:");
+    describe("n1", &hybrid_out[4]);
+    describe("n2", &hybrid_out[5]);
+    describe("y ", &hybrid_out[6]);
+    let _ = y_hybrid;
+    println!();
+    println!("inertial-channel network:");
+    describe("n1", &inertial_out[4]);
+    describe("n2", &inertial_out[5]);
+    describe("y ", &inertial_out[6]);
+    let _ = y_inertial;
+    println!();
+    println!("Note how the hybrid n1 sees the 12 ps input separation (MIS speed-up),");
+    println!("while the inertial n1 applies one fixed delay regardless; downstream, the");
+    println!("30 ps pulse on d may survive or die depending on the channel model.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: query the hybrid NOR delay model with the paper's Table I
+//! parameters and print the headline MIS effects.
+//!
+//! Run: `cargo run --example quickstart`
+
+use mis_delay::core::{delay, NorParams, RisingInitialVn};
+use mis_delay::waveform::units::{ps, to_ps};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = NorParams::paper_table1();
+    println!("Hybrid NOR delay model — paper Table I parameters");
+    println!(
+        "  R1..R4 = {:.1}/{:.1}/{:.1}/{:.1} kΩ, C_N = {:.1} aF, C_O = {:.1} aF, δ_min = {:.0} ps",
+        params.r1 / 1e3,
+        params.r2 / 1e3,
+        params.r3 / 1e3,
+        params.r4 / 1e3,
+        params.cn * 1e18,
+        params.co * 1e18,
+        params.delta_min * 1e12
+    );
+    println!();
+
+    // Falling output (both inputs rise): the MIS speed-up.
+    let (fall_m, fall_p) = delay::falling_sis(&params)?;
+    let fall_0 = delay::falling_delay(&params, 0.0)?;
+    println!("Falling output transition (inputs rise):");
+    println!("  δ↓(−∞) = {:.2} ps  (only B switches)", to_ps(fall_m));
+    println!("  δ↓(+∞) = {:.2} ps  (only A switches)", to_ps(fall_p));
+    println!(
+        "  δ↓(0)  = {:.2} ps  → MIS speed-up of {:.1} % (parallel nMOS discharge)",
+        to_ps(fall_0),
+        100.0 * (fall_0 - fall_m) / fall_m
+    );
+    println!();
+
+    // Rising output (both inputs fall): the slow-down, and the V_N
+    // ambiguity in mode (1,1).
+    let (rise_m, rise_p) = delay::rising_sis(&params)?;
+    println!("Rising output transition (inputs fall):");
+    println!("  δ↑(−∞) = {:.2} ps  (B fell first → N discharged)", to_ps(rise_m));
+    println!("  δ↑(+∞) = {:.2} ps  (A fell first → N precharged)", to_ps(rise_p));
+    for policy in [
+        RisingInitialVn::Gnd,
+        RisingInitialVn::HalfVdd,
+        RisingInitialVn::Vdd,
+    ] {
+        let d = delay::rising_delay(&params, ps(-20.0), policy)?;
+        println!("  δ↑(−20 ps) with V_N = {policy:?}: {:.2} ps", to_ps(d));
+    }
+    println!();
+
+    // A small Δ sweep — the shape of the paper's Fig. 5.
+    println!("δ↓(Δ) sweep:");
+    let curve = delay::falling_curve(&params, ps(-60.0), ps(60.0), 13)?;
+    for (d, v) in curve.deltas.iter().zip(&curve.delays) {
+        let bar = "#".repeat((to_ps(*v) - 25.0).max(0.0) as usize);
+        println!("  Δ = {:>6.1} ps: {:>6.2} ps  {bar}", to_ps(*d), to_ps(*v));
+    }
+    Ok(())
+}

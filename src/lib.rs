@@ -1,0 +1,51 @@
+//! **mis-delay** — a complete Rust reproduction of *"A Simple Hybrid Model
+//! for Accurate Delay Modeling of a Multi-Input Gate"* (Ferdowsi, Maier,
+//! Öhlinger, Schmid — DATE 2022, arXiv:2111.11182).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] (`mis-core`) — the hybrid four-mode ODE delay model of a
+//!   2-input CMOS NOR gate: per-mode analytic solutions, MIS delay
+//!   functions, characteristic Charlie delays, parametrization, and the
+//!   stateful gate model for event-driven simulation.
+//! * [`analog`] (`mis-analog`) — a transistor-level transient simulator
+//!   (MNA + Newton, EKV-style devices) serving as the golden reference in
+//!   place of the paper's Spectre + FreePDK15 stack.
+//! * [`digital`] (`mis-digital`) — an event-driven timing simulator with
+//!   pure, inertial, exponential-involution, sum-exp and hybrid two-input
+//!   channels, plus the Fig. 7 accuracy experiment.
+//! * [`waveform`] (`mis-waveform`) — analog waveforms, digital traces,
+//!   digitization, deviation area, random trace generation.
+//! * [`num`] (`mis-num`) / [`linalg`] (`mis-linalg`) — the numerical
+//!   substrate (roots, optimization, RK45, exponential-sum crossings;
+//!   dense LU, 2×2 eigen).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mis_delay::core::{delay, NorParams};
+//! use mis_delay::waveform::units::{ps, to_ps};
+//!
+//! # fn main() -> Result<(), mis_delay::core::ModelError> {
+//! let params = NorParams::paper_table1();
+//! let d0 = delay::falling_delay(&params, 0.0)?;           // simultaneous inputs
+//! let d_sis = delay::falling_delay(&params, ps(-200.0))?; // single input
+//! assert!(d0 < d_sis, "the Charlie effect: MIS speed-up for falling outputs");
+//! println!("δ↓(0) = {:.1} ps, δ↓(−∞) = {:.1} ps", to_ps(d0), to_ps(d_sis));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results of every table and
+//! figure.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mis_analog as analog;
+pub use mis_core as core;
+pub use mis_digital as digital;
+pub use mis_linalg as linalg;
+pub use mis_num as num;
+pub use mis_waveform as waveform;
