@@ -319,7 +319,9 @@ mod tests {
         let mut c = Circuit::new();
         let n = c.add_free_node("n");
         assert!(c.add_device(Device::resistor(n, n, 1e3)).is_err());
-        assert!(c.add_device(Device::resistor(n, Circuit::GROUND, -1.0)).is_err());
+        assert!(c
+            .add_device(Device::resistor(n, Circuit::GROUND, -1.0))
+            .is_err());
         assert!(c
             .add_device(Device::capacitor(n, Circuit::GROUND, 0.0))
             .is_err());

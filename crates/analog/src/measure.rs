@@ -69,7 +69,10 @@ pub fn falling_delay(
         })?;
     if crossing.1 {
         return Err(AnalogError::Measurement {
-            reason: format!("expected falling crossing, found rising at {:e}", crossing.0),
+            reason: format!(
+                "expected falling crossing, found rising at {:e}",
+                crossing.0
+            ),
         });
     }
     Ok(crossing.0 - t_first)
@@ -134,7 +137,10 @@ pub fn rising_delay(
         })?;
     if !crossing.1 {
         return Err(AnalogError::Measurement {
-            reason: format!("expected rising crossing, found falling at {:e}", crossing.0),
+            reason: format!(
+                "expected rising crossing, found falling at {:e}",
+                crossing.0
+            ),
         });
     }
     Ok(crossing.0 - t_last)
@@ -263,8 +269,7 @@ mod tests {
         // relative to the saturated SIS delays (paper Fig. 2d).
         let tech = NorTech::freepdk15_like();
         let d0 = rising_delay(&tech, 0.0, RisingPrecondition::WorstCaseGnd, &opts()).unwrap();
-        let dp = rising_delay(&tech, ps(200.0), RisingPrecondition::WorstCaseGnd, &opts())
-            .unwrap();
+        let dp = rising_delay(&tech, ps(200.0), RisingPrecondition::WorstCaseGnd, &opts()).unwrap();
         assert!(
             d0 > dp,
             "δ↑(0) = {:.2} ps should exceed δ↑(∞) = {:.2} ps",
@@ -283,15 +288,17 @@ mod tests {
         let with = NorTech::freepdk15_like();
         let without = with.clone().without_coupling();
         let bump = |tech: &NorTech| {
-            let d0 =
-                rising_delay(tech, 0.0, RisingPrecondition::WorstCaseGnd, &opts()).unwrap();
-            let dm = rising_delay(tech, ps(-200.0), RisingPrecondition::WorstCaseGnd, &opts())
-                .unwrap();
+            let d0 = rising_delay(tech, 0.0, RisingPrecondition::WorstCaseGnd, &opts()).unwrap();
+            let dm =
+                rising_delay(tech, ps(-200.0), RisingPrecondition::WorstCaseGnd, &opts()).unwrap();
             d0 - dm
         };
         let bump_with = bump(&with);
         let bump_without = bump(&without);
-        assert!(bump_with > ps(1.0), "coupling bump too small: {bump_with:e}");
+        assert!(
+            bump_with > ps(1.0),
+            "coupling bump too small: {bump_with:e}"
+        );
         assert!(
             bump_without < 0.35 * bump_with,
             "ablated bump {bump_without:e} vs full {bump_with:e}"

@@ -139,11 +139,7 @@ impl MosParams {
         let s = 2.0 * self.n * self.phi_t;
         let x = (v_ctrl - self.vt0) / s;
         // Numerically safe softplus.
-        let softplus = if x > 30.0 {
-            x
-        } else {
-            x.exp().ln_1p()
-        };
+        let softplus = if x > 30.0 { x } else { x.exp().ln_1p() };
         let sigmoid = if x > 30.0 {
             1.0
         } else {

@@ -13,7 +13,7 @@ use mis_waveform::{AnalogWaveform, DigitalTrace};
 
 use crate::circuit::{Circuit, Device, NodeId};
 use crate::mosfet::{mosfet_calibrated, MosParams, MosPolarity};
-use crate::transient::{simulate, TransientOptions, TranResult};
+use crate::transient::{simulate, TranResult, TransientOptions};
 use crate::AnalogError;
 
 /// Technology parameters of the NOR gate testbench.
@@ -71,18 +71,10 @@ impl NorTech {
         // the hybrid model's fitted switch resistances to land the gate
         // delays in the paper's Fig. 2 value range.
         let vdd = 0.8;
-        let nmos = mosfet_calibrated(
-            MosParams::new(MosPolarity::Nmos, 2e-4, 0.28),
-            30.0e3,
-            vdd,
-        )
-        .expect("valid nMOS calibration target");
-        let pmos = mosfet_calibrated(
-            MosParams::new(MosPolarity::Pmos, 1.5e-4, 0.30),
-            20.0e3,
-            vdd,
-        )
-        .expect("valid pMOS calibration target");
+        let nmos = mosfet_calibrated(MosParams::new(MosPolarity::Nmos, 2e-4, 0.28), 30.0e3, vdd)
+            .expect("valid nMOS calibration target");
+        let pmos = mosfet_calibrated(MosParams::new(MosPolarity::Pmos, 1.5e-4, 0.30), 20.0e3, vdd)
+            .expect("valid pMOS calibration target");
         NorTech {
             vdd,
             nmos,

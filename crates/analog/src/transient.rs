@@ -104,7 +104,10 @@ impl TranResult {
             .ok_or_else(|| AnalogError::Measurement {
                 reason: format!("node id {} not part of this result", node.0),
             })?;
-        Ok(AnalogWaveform::from_samples(self.times.clone(), col.clone())?)
+        Ok(AnalogWaveform::from_samples(
+            self.times.clone(),
+            col.clone(),
+        )?)
     }
 
     /// The final voltage of `node`.
@@ -557,7 +560,8 @@ mod tests {
             .add_driven_node("in", step_source(1e-10, 0.0, 1.0, 1e-9))
             .unwrap();
         let mid = ckt.add_free_node("mid");
-        ckt.add_device(Device::capacitor(vin, mid, 300e-18)).unwrap();
+        ckt.add_device(Device::capacitor(vin, mid, 300e-18))
+            .unwrap();
         ckt.add_device(Device::capacitor(mid, Circuit::GROUND, 100e-18))
             .unwrap();
         let res = simulate(&ckt, 0.5e-9, &TransientOptions::default()).unwrap();

@@ -1,11 +1,16 @@
 //! Property-based tests for the analog transient simulator: closed-form
 //! RC responses over random component values, conservation properties,
-//! and integration-method agreement.
+//! and integration-method agreement. On the in-repo `mis-testkit`
+//! harness (offline replacement for `proptest`).
 
 use mis_analog::transient::{simulate, Integration, TransientOptions};
 use mis_analog::{Circuit, Device};
+use mis_testkit::prelude::*;
 use mis_waveform::AnalogWaveform;
-use proptest::prelude::*;
+
+/// The original proptest suite ran these properties at 24 cases each
+/// (each case runs full transient simulations).
+const CASES: u32 = 24;
 
 fn step_input(t_step: f64, v1: f64, t_end: f64) -> AnalogWaveform {
     AnalogWaveform::from_samples(
@@ -15,66 +20,72 @@ fn step_input(t_step: f64, v1: f64, t_end: f64) -> AnalogWaveform {
     .expect("valid step")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn rc_step_response_matches_closed_form() {
+    Config::with_cases(CASES).run(
+        &(1e3..100e3f64, 10e-18..2e-15f64, 0.2..1.2f64),
+        |&(r, c, v)| {
+            let tau = r * c;
+            let t_step = 0.2 * tau + 1e-12;
+            let t_end = t_step + 8.0 * tau;
+            let mut ckt = Circuit::new();
+            let vin = ckt
+                .add_driven_node("in", step_input(t_step, v, 2.0 * t_end))
+                .unwrap();
+            let out = ckt.add_free_node("out");
+            ckt.add_device(Device::resistor(vin, out, r)).unwrap();
+            ckt.add_device(Device::capacitor(out, Circuit::GROUND, c))
+                .unwrap();
+            let opts = TransientOptions {
+                h_max: tau / 4.0,
+                ..TransientOptions::default()
+            };
+            let res = simulate(&ckt, t_end, &opts).unwrap();
+            let w = res.waveform(out).unwrap();
+            for frac in [0.5, 1.0, 2.0, 5.0] {
+                let t = t_step + frac * tau;
+                let expected = v * (1.0 - (-frac).exp());
+                let got = w.value_at(t);
+                prop_assert!(
+                    (got - expected).abs() < 0.01 * v,
+                    "r={r:.0} c={c:e} at {frac}τ: {got} vs {expected}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn rc_step_response_matches_closed_form(
-        r in 1e3..100e3f64,
-        c in 10e-18..2e-15f64,
-        v in 0.2..1.2f64,
-    ) {
-        let tau = r * c;
-        let t_step = 0.2 * tau + 1e-12;
-        let t_end = t_step + 8.0 * tau;
-        let mut ckt = Circuit::new();
-        let vin = ckt.add_driven_node("in", step_input(t_step, v, 2.0 * t_end)).unwrap();
-        let out = ckt.add_free_node("out");
-        ckt.add_device(Device::resistor(vin, out, r)).unwrap();
-        ckt.add_device(Device::capacitor(out, Circuit::GROUND, c)).unwrap();
-        let opts = TransientOptions {
-            h_max: tau / 4.0,
-            ..TransientOptions::default()
-        };
-        let res = simulate(&ckt, t_end, &opts).unwrap();
-        let w = res.waveform(out).unwrap();
-        for frac in [0.5, 1.0, 2.0, 5.0] {
-            let t = t_step + frac * tau;
-            let expected = v * (1.0 - (-frac as f64).exp());
-            let got = w.value_at(t);
-            prop_assert!(
-                (got - expected).abs() < 0.01 * v,
-                "r={r:.0} c={c:e} at {frac}τ: {got} vs {expected}"
-            );
-        }
-    }
+#[test]
+fn resistive_dividers_solve_exactly() {
+    Config::with_cases(CASES).run(
+        &(1e3..50e3f64, 1e3..50e3f64, 0.1..1.5f64),
+        |&(r1, r2, v)| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.add_rail("vdd", v);
+            let mid = ckt.add_free_node("mid");
+            ckt.add_device(Device::resistor(vdd, mid, r1)).unwrap();
+            ckt.add_device(Device::resistor(mid, Circuit::GROUND, r2))
+                .unwrap();
+            let res = simulate(&ckt, 1e-10, &TransientOptions::default()).unwrap();
+            let expected = v * r2 / (r1 + r2);
+            prop_assert!((res.final_voltage(mid) - expected).abs() < 1e-6 * v);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn resistive_dividers_solve_exactly(
-        r1 in 1e3..50e3f64,
-        r2 in 1e3..50e3f64,
-        v in 0.1..1.5f64,
-    ) {
+#[test]
+fn capacitive_divider_ratio() {
+    Config::with_cases(CASES).run(&(50e-18..2e-15f64, 50e-18..2e-15f64), |&(c1, c2)| {
         let mut ckt = Circuit::new();
-        let vdd = ckt.add_rail("vdd", v);
-        let mid = ckt.add_free_node("mid");
-        ckt.add_device(Device::resistor(vdd, mid, r1)).unwrap();
-        ckt.add_device(Device::resistor(mid, Circuit::GROUND, r2)).unwrap();
-        let res = simulate(&ckt, 1e-10, &TransientOptions::default()).unwrap();
-        let expected = v * r2 / (r1 + r2);
-        prop_assert!((res.final_voltage(mid) - expected).abs() < 1e-6 * v);
-    }
-
-    #[test]
-    fn capacitive_divider_ratio(
-        c1 in 50e-18..2e-15f64,
-        c2 in 50e-18..2e-15f64,
-    ) {
-        let mut ckt = Circuit::new();
-        let vin = ckt.add_driven_node("in", step_input(1e-11, 1.0, 1e-9)).unwrap();
+        let vin = ckt
+            .add_driven_node("in", step_input(1e-11, 1.0, 1e-9))
+            .unwrap();
         let mid = ckt.add_free_node("mid");
         ckt.add_device(Device::capacitor(vin, mid, c1)).unwrap();
-        ckt.add_device(Device::capacitor(mid, Circuit::GROUND, c2)).unwrap();
+        ckt.add_device(Device::capacitor(mid, Circuit::GROUND, c2))
+            .unwrap();
         let res = simulate(&ckt, 3e-10, &TransientOptions::default()).unwrap();
         let expected = c1 / (c1 + c2);
         prop_assert!(
@@ -83,20 +94,23 @@ proptest! {
             res.final_voltage(mid),
             expected
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn trapezoidal_and_backward_euler_agree(
-        r in 5e3..50e3f64,
-        c in 100e-18..1e-15f64,
-    ) {
+#[test]
+fn trapezoidal_and_backward_euler_agree() {
+    Config::with_cases(CASES).run(&(5e3..50e3f64, 100e-18..1e-15f64), |&(r, c)| {
         let tau = r * c;
         let t_end = 1e-11 + 6.0 * tau;
         let mut ckt = Circuit::new();
-        let vin = ckt.add_driven_node("in", step_input(1e-11, 0.8, 2.0 * t_end)).unwrap();
+        let vin = ckt
+            .add_driven_node("in", step_input(1e-11, 0.8, 2.0 * t_end))
+            .unwrap();
         let out = ckt.add_free_node("out");
         ckt.add_device(Device::resistor(vin, out, r)).unwrap();
-        ckt.add_device(Device::capacitor(out, Circuit::GROUND, c)).unwrap();
+        ckt.add_device(Device::capacitor(out, Circuit::GROUND, c))
+            .unwrap();
         let run = |integration| {
             let opts = TransientOptions {
                 integration,
@@ -108,10 +122,13 @@ proptest! {
         let trap = run(Integration::Trapezoidal);
         let be = run(Integration::BackwardEuler);
         prop_assert!((trap - be).abs() < 5e-3, "trap {trap} vs BE {be}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gate_delay_scales_with_load(extra in 100e-18..800e-18f64) {
+#[test]
+fn gate_delay_scales_with_load() {
+    Config::with_cases(CASES).run(&(100e-18..800e-18f64), |&extra| {
         // Adding load capacitance must monotonically increase the gate
         // delay — a sanity property of the full NOR testbench.
         use mis_analog::{measure, NorTech};
@@ -125,5 +142,6 @@ proptest! {
             d_loaded > d_base,
             "load {extra:e}: {d_loaded:e} not above {d_base:e}"
         );
-    }
+        Ok(())
+    });
 }

@@ -6,17 +6,22 @@
 //! each channel model. The absolute numbers are implementation-specific;
 //! the claim under test is that the hybrid channel's cost is the same
 //! order as the single-input channels', not multiples of it.
+//!
+//! Runs on the in-repo `mis-testkit` bench harness (offline replacement
+//! for `criterion`); JSON results land in `BENCH_channel_throughput.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mis_core::NorParams;
 use mis_digital::{
     gates, ExpChannel, HybridNorChannel, InertialChannel, SumExpChannel, TraceTransform,
     TwoInputTransform,
 };
+use mis_testkit::bench::Harness;
 use mis_waveform::generate::{Assignment, TraceConfig};
 use mis_waveform::units::ps;
 
-fn channel_benches(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("channel_throughput");
+
     let pair = TraceConfig::new(ps(150.0), ps(60.0), Assignment::Local, 500)
         .generate(0xbe7)
         .expect("trace generation");
@@ -27,37 +32,26 @@ fn channel_benches(c: &mut Criterion) {
     let sumexp = SumExpChannel::from_sis_delay(ps(50.0), ps(20.0), 0.7, 4.0).expect("channel");
     let hybrid = HybridNorChannel::new(&NorParams::paper_table1()).expect("channel");
 
-    let mut group = c.benchmark_group("channel_500_transitions");
-    group.bench_function("inertial", |b| {
-        b.iter_batched(
-            || ideal.clone(),
-            |t| inertial.apply(&t).expect("inertial"),
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("exp_involution", |b| {
-        b.iter_batched(
-            || ideal.clone(),
-            |t| exp.apply(&t).expect("exp"),
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("sumexp_involution", |b| {
-        b.iter_batched(
-            || ideal.clone(),
-            |t| sumexp.apply(&t).expect("sumexp"),
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("hybrid_nor", |b| {
-        b.iter_batched(
-            || (pair.a.clone(), pair.b.clone()),
-            |(a, bb)| hybrid.apply2(&a, &bb).expect("hybrid"),
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
+    h.bench_batched(
+        "channel_500_transitions/inertial",
+        || ideal.clone(),
+        |t| inertial.apply(&t).expect("inertial"),
+    );
+    h.bench_batched(
+        "channel_500_transitions/exp_involution",
+        || ideal.clone(),
+        |t| exp.apply(&t).expect("exp"),
+    );
+    h.bench_batched(
+        "channel_500_transitions/sumexp_involution",
+        || ideal.clone(),
+        |t| sumexp.apply(&t).expect("sumexp"),
+    );
+    h.bench_batched(
+        "channel_500_transitions/hybrid_nor",
+        || (pair.a.clone(), pair.b.clone()),
+        |(a, b)| hybrid.apply2(&a, &b).expect("hybrid"),
+    );
 
-criterion_group!(benches, channel_benches);
-criterion_main!(benches);
+    h.finish();
+}

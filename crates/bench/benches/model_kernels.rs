@@ -2,31 +2,32 @@
 //! single delay queries of the hybrid model, trajectory evaluation,
 //! characteristic-delay extraction, the Section V parametrization, and
 //! one analog transient of the reference gate.
+//!
+//! Runs on the in-repo `mis-testkit` bench harness (offline replacement
+//! for `criterion`); JSON results land in `BENCH_model_kernels.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mis_analog::transient::TransientOptions;
 use mis_analog::NorTech;
 use mis_core::charlie::CharacteristicDelays;
 use mis_core::{delay, fit, HybridTrajectory, Mode, ModeSwitch, NorParams, RisingInitialVn};
+use mis_testkit::bench::{black_box, Harness};
 use mis_waveform::units::ps;
 use mis_waveform::DigitalTrace;
-use std::hint::black_box;
 
-fn kernel_benches(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("model_kernels");
     let p = NorParams::paper_table1();
 
-    c.bench_function("falling_delay_single", |b| {
-        b.iter(|| delay::falling_delay(black_box(&p), black_box(ps(10.0))).expect("delay"));
+    h.bench("falling_delay_single", || {
+        delay::falling_delay(black_box(&p), black_box(ps(10.0))).expect("delay")
     });
 
-    c.bench_function("rising_delay_single", |b| {
-        b.iter(|| {
-            delay::rising_delay(black_box(&p), black_box(ps(-10.0)), RisingInitialVn::Gnd)
-                .expect("delay")
-        });
+    h.bench("rising_delay_single", || {
+        delay::rising_delay(black_box(&p), black_box(ps(-10.0)), RisingInitialVn::Gnd)
+            .expect("delay")
     });
 
-    c.bench_function("trajectory_eval_100_points", |b| {
+    {
         let traj = HybridTrajectory::new(
             &p,
             Mode::S00,
@@ -44,39 +45,40 @@ fn kernel_benches(c: &mut Criterion) {
             ],
         )
         .expect("trajectory");
-        b.iter(|| {
+        h.bench("trajectory_eval_100_points", || {
             let mut acc = 0.0;
             for i in 0..100 {
                 acc += traj.eval(ps(i as f64))[1];
             }
             black_box(acc)
         });
+    }
+
+    h.bench("characteristic_delays_model", || {
+        CharacteristicDelays::of_model(black_box(&p)).expect("characteristics")
     });
 
-    c.bench_function("characteristic_delays_model", |b| {
-        b.iter(|| CharacteristicDelays::of_model(black_box(&p)).expect("characteristics"));
-    });
-
-    c.bench_function("fit_roundtrip", |b| {
+    {
         let targets = CharacteristicDelays::of_model(&p.without_pure_delay()).expect("targets");
         let cfg = fit::FitConfig {
             max_evals: 800,
             ..fit::FitConfig::default()
         };
-        b.iter(|| fit::fit(black_box(&targets), &cfg).expect("fit"));
-    });
+        h.bench("fit_roundtrip", || {
+            fit::fit(black_box(&targets), &cfg).expect("fit")
+        });
+    }
 
-    c.bench_function("analog_transient_single_edge", |b| {
+    {
         let tech = NorTech::freepdk15_like();
         let opts = TransientOptions::default();
         let a = DigitalTrace::with_edges(false, vec![(ps(300.0), true)]).expect("trace");
         let bb = DigitalTrace::constant(false);
-        b.iter(|| {
+        h.bench("analog_transient_single_edge", || {
             tech.simulate_traces(black_box(&a), &bb, ps(700.0), &opts)
                 .expect("transient")
         });
-    });
-}
+    }
 
-criterion_group!(benches, kernel_benches);
-criterion_main!(benches);
+    h.finish();
+}

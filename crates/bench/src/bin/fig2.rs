@@ -22,7 +22,10 @@ fn main() {
     let opts = TransientOptions::default();
 
     if part == "a" || part == "all" {
-        banner("Fig. 2a", "analog waveforms, falling output transition (Δ = 30 ps)");
+        banner(
+            "Fig. 2a",
+            "analog waveforms, falling output transition (Δ = 30 ps)",
+        );
         waveform_part(&tech, &opts, &args, true);
     }
     if part == "b" || part == "all" {
@@ -30,7 +33,10 @@ fn main() {
         delay_part(&tech, &opts, &args, true);
     }
     if part == "c" || part == "all" {
-        banner("Fig. 2c", "analog waveforms, rising output transition (Δ = 30 ps)");
+        banner(
+            "Fig. 2c",
+            "analog waveforms, rising output transition (Δ = 30 ps)",
+        );
         waveform_part(&tech, &opts, &args, false);
     }
     if part == "d" || part == "all" {

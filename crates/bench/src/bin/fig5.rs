@@ -61,12 +61,18 @@ fn main() {
         let m = delay::falling_delay(&params, point.delta).expect("model delay");
         let err = m - point.delay;
         worst = worst.max(err.abs());
-        series.push(to_ps(point.delta), &[to_ps(m), to_ps(point.delay), to_ps(err)]);
+        series.push(
+            to_ps(point.delta),
+            &[to_ps(m), to_ps(point.delay), to_ps(err)],
+        );
     }
     series.print(&args);
     if !args.csv {
         print!("{}", ascii_plot(&series, 0, 10));
     }
-    println!("worst |model − analog| over the sweep: {:.2} ps", to_ps(worst));
+    println!(
+        "worst |model − analog| over the sweep: {:.2} ps",
+        to_ps(worst)
+    );
     println!("(paper: 'very good fit' of δ↓_M to δ↓_S across the whole Δ range)");
 }

@@ -56,14 +56,20 @@ fn main() {
     let n = if args.quick { 9 } else { 25 };
     let deltas = measure::delta_grid(ps(-60.0), ps(60.0), n);
     let analog = measure::falling_sweep(&tech, &deltas, &tran).expect("analog sweep");
-    let mut series = Series::new("delta_ps", &["SPICE-sub", "HM_with_dmin", "HM_without_dmin"]);
+    let mut series = Series::new(
+        "delta_ps",
+        &["SPICE-sub", "HM_with_dmin", "HM_without_dmin"],
+    );
     let (mut err_with, mut err_without) = (0.0_f64, 0.0_f64);
     for point in &analog {
         let w = delay::falling_delay(&fit_with.params, point.delta).expect("model");
         let wo = delay::falling_delay(&fit_without.params, point.delta).expect("model");
         err_with += (w - point.delay).abs();
         err_without += (wo - point.delay).abs();
-        series.push(to_ps(point.delta), &[to_ps(point.delay), to_ps(w), to_ps(wo)]);
+        series.push(
+            to_ps(point.delta),
+            &[to_ps(point.delay), to_ps(w), to_ps(wo)],
+        );
     }
     series.print(&args);
     println!();

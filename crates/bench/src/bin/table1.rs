@@ -56,13 +56,46 @@ fn main() {
     let paper = NorParams::paper_table1();
 
     println!();
-    println!("{:<12} {:>18} {:>18}", "Parameter", "fitted (ours)", "paper Table I");
-    println!("{:<12} {:>14.3} kΩ {:>14.3} kΩ", "R1", p.r1 / 1e3, paper.r1 / 1e3);
-    println!("{:<12} {:>14.3} kΩ {:>14.3} kΩ", "R2", p.r2 / 1e3, paper.r2 / 1e3);
-    println!("{:<12} {:>14.3} kΩ {:>14.3} kΩ", "R3", p.r3 / 1e3, paper.r3 / 1e3);
-    println!("{:<12} {:>14.3} kΩ {:>14.3} kΩ", "R4", p.r4 / 1e3, paper.r4 / 1e3);
-    println!("{:<12} {:>14.3} aF {:>14.3} aF", "C_N", p.cn * 1e18, paper.cn * 1e18);
-    println!("{:<12} {:>14.3} aF {:>14.3} aF", "C_O", p.co * 1e18, paper.co * 1e18);
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "Parameter", "fitted (ours)", "paper Table I"
+    );
+    println!(
+        "{:<12} {:>14.3} kΩ {:>14.3} kΩ",
+        "R1",
+        p.r1 / 1e3,
+        paper.r1 / 1e3
+    );
+    println!(
+        "{:<12} {:>14.3} kΩ {:>14.3} kΩ",
+        "R2",
+        p.r2 / 1e3,
+        paper.r2 / 1e3
+    );
+    println!(
+        "{:<12} {:>14.3} kΩ {:>14.3} kΩ",
+        "R3",
+        p.r3 / 1e3,
+        paper.r3 / 1e3
+    );
+    println!(
+        "{:<12} {:>14.3} kΩ {:>14.3} kΩ",
+        "R4",
+        p.r4 / 1e3,
+        paper.r4 / 1e3
+    );
+    println!(
+        "{:<12} {:>14.3} aF {:>14.3} aF",
+        "C_N",
+        p.cn * 1e18,
+        paper.cn * 1e18
+    );
+    println!(
+        "{:<12} {:>14.3} aF {:>14.3} aF",
+        "C_O",
+        p.co * 1e18,
+        paper.co * 1e18
+    );
     println!(
         "{:<12} {:>14.3} ps {:>14.3} ps",
         "δ_min",
@@ -85,7 +118,10 @@ fn main() {
 
     if args.rest.iter().any(|a| a == "--charlie") {
         println!();
-        banner("Eqs. (8)-(12)", "characteristic Charlie delay formulas vs exact numerics");
+        banner(
+            "Eqs. (8)-(12)",
+            "characteristic Charlie delay formulas vs exact numerics",
+        );
         let p = NorParams::paper_table1();
         let c = CharacteristicDelays::of_model(&p).expect("characteristics");
         println!(

@@ -235,8 +235,7 @@ mod tests {
                 Some(tc) => tc,
                 None => {
                     g.set_input(t_second, second, true).unwrap();
-                    let (tc, rising) =
-                        g.next_output_crossing().unwrap().expect("output falls");
+                    let (tc, rising) = g.next_output_crossing().unwrap().expect("output falls");
                     assert!(!rising);
                     tc
                 }
@@ -296,8 +295,7 @@ mod tests {
         g.set_input(ps(400.0), InputId::A, false).unwrap();
         g.set_input(ps(400.0), InputId::B, false).unwrap();
         let t_tracked = g.next_output_crossing().unwrap().unwrap().0 - ps(400.0);
-        let t_memoryless =
-            delay::rising_delay(&par, 0.0, RisingInitialVn::Gnd).unwrap();
+        let t_memoryless = delay::rising_delay(&par, 0.0, RisingInitialVn::Gnd).unwrap();
         assert!(
             (t_tracked - t_memoryless).abs() > ps(0.05),
             "tracked {t_tracked:e} vs memoryless {t_memoryless:e}"

@@ -27,7 +27,10 @@
 //! `δ_min` is **not** added, matching the role these quantities play in
 //! fitting (where `δ_min` is subtracted from the measured targets).
 
-use crate::{delay, HybridTrajectory, Mode, ModeConstants, ModeSwitch, ModeSystem, ModelError, NorParams, RisingInitialVn};
+use crate::{
+    delay, HybridTrajectory, Mode, ModeConstants, ModeSwitch, ModeSystem, ModelError, NorParams,
+    RisingInitialVn,
+};
 
 /// The paper's probe time for falling-transition approximations
 /// (`w = 10⁻¹⁰ s` in eq. (10)).
@@ -451,8 +454,7 @@ mod tests {
         let par = p();
         let exact = rise_exact_numeric(&par, ps(10.0), 0.0).unwrap();
         let err_far = (rise_approx(&par, ps(10.0), 0.0, PAPER_W_RISE).unwrap() - exact).abs();
-        let err_near =
-            (rise_approx(&par, ps(10.0), 0.0, ps(10.0) + exact).unwrap() - exact).abs();
+        let err_near = (rise_approx(&par, ps(10.0), 0.0, ps(10.0) + exact).unwrap() - exact).abs();
         assert!(err_near <= err_far + 1e-18, "{err_near:e} vs {err_far:e}");
         assert!(err_near < ps(0.05));
     }

@@ -166,13 +166,7 @@ pub fn rising_sis(params: &NorParams) -> Result<(f64, f64), ModelError> {
     let horizon = HORIZON_TAUS * params.slowest_time_constant();
     let mut out = [0.0; 2];
     for (slot, vn0) in [(0usize, 0.0), (1usize, params.vdd)] {
-        let traj = HybridTrajectory::new(
-            params,
-            Mode::S00,
-            [vn0, 0.0],
-            0.0,
-            &[],
-        )?;
+        let traj = HybridTrajectory::new(params, Mode::S00, [vn0, 0.0], 0.0, &[])?;
         out[slot] = traj
             .first_output_crossing(params.vth, horizon)?
             .ok_or_else(|| ModelError::NoCrossing {
@@ -338,7 +332,11 @@ mod tests {
     fn falling_saturates_to_sis_limits() {
         let par = p();
         let (dm, dp) = falling_sis(&par).unwrap();
-        assert!(approx_eq(falling_delay(&par, ps(-400.0)).unwrap(), dm, 1e-9));
+        assert!(approx_eq(
+            falling_delay(&par, ps(-400.0)).unwrap(),
+            dm,
+            1e-9
+        ));
         assert!(approx_eq(falling_delay(&par, ps(400.0)).unwrap(), dp, 1e-9));
     }
 

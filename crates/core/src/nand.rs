@@ -89,7 +89,11 @@ impl NandParams {
     /// # Errors
     ///
     /// Propagates [`delay::rising_delay`] failures.
-    pub fn falling_delay(&self, delta: f64, initial_vm: RisingInitialVn) -> Result<f64, ModelError> {
+    pub fn falling_delay(
+        &self,
+        delta: f64,
+        initial_vm: RisingInitialVn,
+    ) -> Result<f64, ModelError> {
         // NAND-world V_M ↦ NOR-world X = V_DD − V_M.
         let x_nand = initial_vm.voltage(self.dual.vdd);
         let x_nor = self.dual.vdd - x_nand;
@@ -158,7 +162,10 @@ mod tests {
         let g = nand();
         let d0 = g.rising_delay(0.0).unwrap();
         let (dm, dp) = g.rising_sis().unwrap();
-        assert!(d0 < dm && d0 < dp, "MIS speed-up: {d0:e} vs ({dm:e}, {dp:e})");
+        assert!(
+            d0 < dm && d0 < dp,
+            "MIS speed-up: {d0:e} vs ({dm:e}, {dp:e})"
+        );
         // Exact duality: identical numbers to the NOR falling delay.
         let nor0 = delay::falling_delay(&NorParams::paper_table1(), 0.0).unwrap();
         assert!(approx_eq(d0, nor0, 1e-15));
@@ -170,21 +177,15 @@ mod tests {
         // δ↓_NAND(Δ | M discharged) == δ↑_NOR(Δ | N at VDD)? No: the
         // duality maps NAND M=GND to NOR X = VDD.
         let nand_d = g.falling_delay(ps(-20.0), RisingInitialVn::Gnd).unwrap();
-        let nor_d = delay::rising_delay(
-            &NorParams::paper_table1(),
-            ps(-20.0),
-            RisingInitialVn::Vdd,
-        )
-        .unwrap();
+        let nor_d =
+            delay::rising_delay(&NorParams::paper_table1(), ps(-20.0), RisingInitialVn::Vdd)
+                .unwrap();
         assert!(approx_eq(nand_d, nor_d, 1e-15));
         // And the VDD-frozen M maps to NOR's GND worst case.
         let nand_v = g.falling_delay(ps(-20.0), RisingInitialVn::Vdd).unwrap();
-        let nor_g = delay::rising_delay(
-            &NorParams::paper_table1(),
-            ps(-20.0),
-            RisingInitialVn::Gnd,
-        )
-        .unwrap();
+        let nor_g =
+            delay::rising_delay(&NorParams::paper_table1(), ps(-20.0), RisingInitialVn::Gnd)
+                .unwrap();
         assert!(approx_eq(nand_v, nor_g, 1e-15));
     }
 

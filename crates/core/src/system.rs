@@ -116,10 +116,7 @@ impl ModeSystem {
                 ],
                 [1.0 / (p.co * p.r2), -1.0 / (p.co * p.r2)],
             ],
-            Mode::S01 => [
-                [-1.0 / (p.cn * p.r1), 0.0],
-                [0.0, -1.0 / (p.co * p.r4)],
-            ],
+            Mode::S01 => [[-1.0 / (p.cn * p.r1), 0.0], [0.0, -1.0 / (p.co * p.r4)]],
             Mode::S10 => [
                 [-1.0 / (p.cn * p.r2), 1.0 / (p.cn * p.r2)],
                 [

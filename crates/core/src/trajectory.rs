@@ -183,10 +183,9 @@ impl HybridTrajectory {
                 reason: format!("V_N sampling failed: {e}"),
             }
         })?;
-        let wo =
-            AnalogWaveform::from_samples(ts, vo).map_err(|e| ModelError::InvalidParams {
-                reason: format!("V_O sampling failed: {e}"),
-            })?;
+        let wo = AnalogWaveform::from_samples(ts, vo).map_err(|e| ModelError::InvalidParams {
+            reason: format!("V_O sampling failed: {e}"),
+        })?;
         Ok((wn, wo))
     }
 
@@ -199,11 +198,7 @@ impl HybridTrajectory {
     fn segment_index(&self, t: f64) -> usize {
         // Last segment whose start is <= t (segments take effect at their
         // start instant).
-        match self
-            .starts
-            .iter()
-            .rposition(|&s| s <= t)
-        {
+        match self.starts.iter().rposition(|&s| s <= t) {
             Some(i) => i,
             None => 0,
         }
@@ -354,8 +349,7 @@ mod tests {
     #[test]
     fn no_crossing_when_output_stays_high() {
         let par = p();
-        let traj =
-            HybridTrajectory::new(&par, Mode::S00, [par.vdd, par.vdd], 0.0, &[]).unwrap();
+        let traj = HybridTrajectory::new(&par, Mode::S00, [par.vdd, par.vdd], 0.0, &[]).unwrap();
         assert!(traj
             .first_output_crossing(par.vth, ps(1000.0))
             .unwrap()
@@ -367,8 +361,7 @@ mod tests {
         let par = p();
         // Fig. 4 initial conditions: V_N(0)=V_O(0)=VDD except (0,0) from
         // GND and (1,1) with V_N = VDD/2.
-        let traj =
-            HybridTrajectory::new(&par, Mode::S00, [0.0, 0.0], 0.0, &[]).unwrap();
+        let traj = HybridTrajectory::new(&par, Mode::S00, [0.0, 0.0], 0.0, &[]).unwrap();
         let (wn, wo) = traj.sample(0.0, ps(150.0), 151).unwrap();
         assert_eq!(wn.len(), 151);
         // (0,0) charges both nodes towards VDD.
@@ -393,8 +386,7 @@ mod tests {
             },
         ];
         let traj =
-            HybridTrajectory::new(&par, Mode::S00, [par.vdd, par.vdd], 0.0, &schedule)
-                .unwrap();
+            HybridTrajectory::new(&par, Mode::S00, [par.vdd, par.vdd], 0.0, &schedule).unwrap();
         let mut x = [par.vdd, par.vdd];
         let mut t = 0.0;
         let times = [ps(4.0), ps(19.0), ps(80.0)];

@@ -83,11 +83,10 @@ impl ExperimentConfig {
         delta_min: Option<f64>,
         repetitions: usize,
     ) -> Result<Self, SimError> {
-        let chars = measure::characteristic_delays(&tech, &tran).map_err(|e| {
-            SimError::Network {
+        let chars =
+            measure::characteristic_delays(&tech, &tran).map_err(|e| SimError::Network {
                 reason: format!("reference characterization failed: {e}"),
-            }
-        })?;
+            })?;
         let targets = mis_core::charlie::CharacteristicDelays::from_array(chars);
         let dmin = delta_min
             .unwrap_or_else(|| (2.0 * targets.fall_zero - targets.fall_minus_inf).max(0.0));
@@ -146,8 +145,8 @@ pub fn run_experiment(
     trace_configs: &[TraceConfig],
 ) -> Result<Vec<ConfigScores>, SimError> {
     // Parametrize the baselines once from the golden reference.
-    let chars = measure::characteristic_delays(&cfg.tech, &cfg.tran)
-        .map_err(|e| SimError::Network {
+    let chars =
+        measure::characteristic_delays(&cfg.tech, &cfg.tran).map_err(|e| SimError::Network {
             reason: format!("reference characterization failed: {e}"),
         })?;
     let sis_fall = 0.5 * (chars[0] + chars[2]);
@@ -282,12 +281,7 @@ mod tests {
             )
             .unwrap()
         };
-        let tcs = vec![TraceConfig::new(
-            ps(150.0),
-            ps(60.0),
-            Assignment::Local,
-            40,
-        )];
+        let tcs = vec![TraceConfig::new(ps(150.0), ps(60.0), Assignment::Local, 40)];
         let scores = run_experiment(&cfg, &tcs).unwrap();
         let hm_with = &scores[0].models[3];
         assert!(

@@ -93,11 +93,7 @@ impl ExpChannel {
     ///
     /// Returns [`SimError::InvalidChannel`] unless both SIS delays exceed
     /// the pure delay.
-    pub fn from_sis_delays(
-        sis_up: f64,
-        sis_down: f64,
-        pure_delay: f64,
-    ) -> Result<Self, SimError> {
+    pub fn from_sis_delays(sis_up: f64, sis_down: f64, pure_delay: f64) -> Result<Self, SimError> {
         if !(sis_up > pure_delay && sis_down > pure_delay) {
             return Err(SimError::InvalidChannel {
                 reason: format!(
@@ -249,8 +245,7 @@ mod tests {
     fn widely_spaced_edges_get_sis_delay() {
         let c = ch();
         let input =
-            DigitalTrace::with_edges(false, vec![(ps(1000.0), true), (ps(9000.0), false)])
-                .unwrap();
+            DigitalTrace::with_edges(false, vec![(ps(1000.0), true), (ps(9000.0), false)]).unwrap();
         let out = c.apply(&input).unwrap();
         assert_eq!(out.transition_count(), 2);
         assert!((out.edges()[0].time - ps(1055.0)).abs() < ps(0.001));
@@ -261,8 +256,7 @@ mod tests {
     fn short_pulse_is_cancelled() {
         let c = ch();
         let input =
-            DigitalTrace::with_edges(false, vec![(ps(1000.0), true), (ps(1002.0), false)])
-                .unwrap();
+            DigitalTrace::with_edges(false, vec![(ps(1000.0), true), (ps(1002.0), false)]).unwrap();
         let out = c.apply(&input).unwrap();
         assert_eq!(out.transition_count(), 0);
     }

@@ -80,19 +80,22 @@ impl TwoInputTransform for HybridNorChannel {
         let mut out = DigitalTrace::constant(initial);
         let mut value = initial;
 
-        let commit_until =
-            |gate: &NorGateModel, until: f64, out: &mut DigitalTrace, value: &mut bool| -> Result<(), SimError> {
-                for (tc, rising) in gate.output_crossings()? {
-                    if tc > until {
-                        break;
-                    }
-                    if rising != *value {
-                        out.push_edge(tc, rising)?;
-                        *value = rising;
-                    }
+        let commit_until = |gate: &NorGateModel,
+                            until: f64,
+                            out: &mut DigitalTrace,
+                            value: &mut bool|
+         -> Result<(), SimError> {
+            for (tc, rising) in gate.output_crossings()? {
+                if tc > until {
+                    break;
                 }
-                Ok(())
-            };
+                if rising != *value {
+                    out.push_edge(tc, rising)?;
+                    *value = rising;
+                }
+            }
+            Ok(())
+        };
 
         for (t, id, v) in events {
             // Crossings predicted strictly before this event are
@@ -150,10 +153,10 @@ mod tests {
     fn full_pulse_round_trip_rising_and_falling() {
         // Both inputs pulse high simultaneously: output falls, then rises.
         let ch = HybridNorChannel::new(&params()).unwrap();
-        let a = DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(500.0), false)])
-            .unwrap();
-        let b = DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(500.0), false)])
-            .unwrap();
+        let a =
+            DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(500.0), false)]).unwrap();
+        let b =
+            DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(500.0), false)]).unwrap();
         let out = ch.apply2(&a, &b).unwrap();
         assert_eq!(out.transition_count(), 2);
         assert!(!out.edges()[0].rising);
@@ -181,8 +184,8 @@ mod tests {
         // A 1 ps pulse on one input cannot move the output across the
         // threshold: no output transitions at all.
         let ch = HybridNorChannel::new(&params()).unwrap();
-        let a = DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(201.0), false)])
-            .unwrap();
+        let a =
+            DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(201.0), false)]).unwrap();
         let b = DigitalTrace::constant(false);
         let out = ch.apply2(&a, &b).unwrap();
         assert_eq!(out.transition_count(), 0, "glitch must be filtered");
@@ -193,11 +196,9 @@ mod tests {
         // An input pulse just above the delay scale survives, shortened.
         let ch = HybridNorChannel::new(&params().without_pure_delay()).unwrap();
         let width = ps(30.0);
-        let a = DigitalTrace::with_edges(
-            false,
-            vec![(ps(200.0), true), (ps(200.0) + width, false)],
-        )
-        .unwrap();
+        let a =
+            DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(200.0) + width, false)])
+                .unwrap();
         let b = DigitalTrace::constant(false);
         let out = ch.apply2(&a, &b).unwrap();
         assert_eq!(out.transition_count(), 2, "pulse should survive");

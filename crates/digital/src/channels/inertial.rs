@@ -141,8 +141,7 @@ mod tests {
     fn long_pulses_pass_with_correct_delays() {
         let ch = InertialChannel::symmetric(ps(10.0), ps(14.0)).unwrap();
         let input =
-            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(200.0), false)])
-                .unwrap();
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(200.0), false)]).unwrap();
         let out = ch.apply(&input).unwrap();
         assert_eq!(out.transition_count(), 2);
         assert!((out.edges()[0].time - ps(110.0)).abs() < 1e-18);
@@ -153,8 +152,7 @@ mod tests {
     fn short_pulse_removed() {
         let ch = InertialChannel::symmetric(ps(30.0), ps(30.0)).unwrap();
         let input =
-            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(110.0), false)])
-                .unwrap();
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(110.0), false)]).unwrap();
         let out = ch.apply(&input).unwrap();
         assert_eq!(out.transition_count(), 0, "10 ps pulse < 30 ps window");
     }
@@ -163,8 +161,7 @@ mod tests {
     fn pulse_just_above_window_survives() {
         let ch = InertialChannel::symmetric(ps(30.0), ps(30.0)).unwrap();
         let input =
-            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(131.0), false)])
-                .unwrap();
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(131.0), false)]).unwrap();
         let out = ch.apply(&input).unwrap();
         assert_eq!(out.transition_count(), 2);
     }
@@ -173,8 +170,7 @@ mod tests {
     fn pulse_just_below_window_dies() {
         let ch = InertialChannel::symmetric(ps(30.0), ps(30.0)).unwrap();
         let input =
-            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(129.0), false)])
-                .unwrap();
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(129.0), false)]).unwrap();
         let out = ch.apply(&input).unwrap();
         assert_eq!(out.transition_count(), 0);
     }
@@ -186,8 +182,7 @@ mod tests {
         // must annihilate.
         let ch = InertialChannel::with_rejection(ps(50.0), ps(5.0), 0.0).unwrap();
         let input =
-            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(110.0), false)])
-                .unwrap();
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(110.0), false)]).unwrap();
         let out = ch.apply(&input).unwrap();
         assert_eq!(out.transition_count(), 0);
     }

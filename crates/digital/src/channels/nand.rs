@@ -2,7 +2,7 @@ use mis_core::nand::NandParams;
 use mis_core::NorParams;
 use mis_waveform::DigitalTrace;
 
-use crate::channels::{TwoInputTransform};
+use crate::channels::TwoInputTransform;
 use crate::{gates, HybridNorChannel, SimError};
 
 /// The hybrid model as a two-input **NAND** channel, realized through the
@@ -97,8 +97,8 @@ mod tests {
     fn single_input_switching_does_not_toggle_output() {
         // NAND with one input low stays high regardless of the other.
         let ch = channel();
-        let a = DigitalTrace::with_edges(false, vec![(ps(300.0), true), (ps(600.0), false)])
-            .unwrap();
+        let a =
+            DigitalTrace::with_edges(false, vec![(ps(300.0), true), (ps(600.0), false)]).unwrap();
         let b = DigitalTrace::constant(false);
         let out = ch.apply2(&a, &b).unwrap();
         assert!(out.initial_value());
@@ -122,10 +122,7 @@ mod tests {
             // The channel starts from (0,0): the dual NOR starts from
             // (1,1) with the Gnd V_N policy, i.e. NAND V_M hypothesis
             // VDD (duality flips it).
-            let expected = tb.max(ta)
-                + params
-                    .falling_delay(delta, RisingInitialVn::Vdd)
-                    .unwrap();
+            let expected = tb.max(ta) + params.falling_delay(delta, RisingInitialVn::Vdd).unwrap();
             assert!(
                 (out.edges()[0].time - expected).abs() < ps(0.01),
                 "Δ = {delta:e}: {:e} vs {expected:e}",

@@ -79,9 +79,11 @@ impl SumExpChannel {
             pure_delay,
             s_half: 0.0,
         };
-        ch.s_half = ch.f_down_inverse(0.5).ok_or_else(|| SimError::InvalidChannel {
-            reason: "failed to locate the waveform's half-swing time".into(),
-        })?;
+        ch.s_half = ch
+            .f_down_inverse(0.5)
+            .ok_or_else(|| SimError::InvalidChannel {
+                reason: "failed to locate the waveform's half-swing time".into(),
+            })?;
         Ok(ch)
     }
 
@@ -236,8 +238,7 @@ mod tests {
     fn filters_short_pulses() {
         let c = ch();
         let input =
-            DigitalTrace::with_edges(false, vec![(ps(1000.0), true), (ps(1003.0), false)])
-                .unwrap();
+            DigitalTrace::with_edges(false, vec![(ps(1000.0), true), (ps(1003.0), false)]).unwrap();
         let out = c.apply(&input).unwrap();
         assert_eq!(out.transition_count(), 0);
     }

@@ -134,16 +134,10 @@ mod tests {
     #[test]
     fn hybrid_channel_is_continuous_away_from_boundaries() {
         // A comfortable MIS scenario: wide pulse, inputs 10 ps apart.
-        let a = DigitalTrace::with_edges(
-            false,
-            vec![(ps(300.0), true), (ps(800.0), false)],
-        )
-        .unwrap();
-        let b = DigitalTrace::with_edges(
-            false,
-            vec![(ps(310.0), true), (ps(820.0), false)],
-        )
-        .unwrap();
+        let a =
+            DigitalTrace::with_edges(false, vec![(ps(300.0), true), (ps(800.0), false)]).unwrap();
+        let b =
+            DigitalTrace::with_edges(false, vec![(ps(310.0), true), (ps(820.0), false)]).unwrap();
         let report = probe_two_input(&channel(), &a, &b, ps(0.1)).unwrap();
         assert_eq!(report.count_changes, 0, "{report:?}");
         // The delay functions have bounded slope in Δ; a modulus of a few
@@ -175,8 +169,7 @@ mod tests {
     fn cancellation_boundary_is_flagged() {
         // A pulse right at the suppression boundary: perturbing its
         // trailing edge changes whether the output glitch exists.
-        let ch = HybridNorChannel::new(&NorParams::paper_table1().without_pure_delay())
-            .unwrap();
+        let ch = HybridNorChannel::new(&NorParams::paper_table1().without_pure_delay()).unwrap();
         // Find a width near the boundary by bisection on the channel.
         let out_count = |width: f64| {
             let a = DigitalTrace::with_edges(
@@ -200,11 +193,9 @@ mod tests {
             }
         }
         let width = 0.5 * (lo + hi);
-        let a = DigitalTrace::with_edges(
-            false,
-            vec![(ps(300.0), true), (ps(300.0) + width, false)],
-        )
-        .unwrap();
+        let a =
+            DigitalTrace::with_edges(false, vec![(ps(300.0), true), (ps(300.0) + width, false)])
+                .unwrap();
         let b = DigitalTrace::constant(false);
         let report = probe_two_input(&ch, &a, &b, hi - lo).unwrap();
         assert!(
@@ -219,8 +210,7 @@ mod tests {
         // approaches the suppression boundary from above, the *output*
         // pulse width tends to zero (no jump) — the property that makes
         // continuous channels faithful for short-pulse filtration.
-        let ch = HybridNorChannel::new(&NorParams::paper_table1().without_pure_delay())
-            .unwrap();
+        let ch = HybridNorChannel::new(&NorParams::paper_table1().without_pure_delay()).unwrap();
         let out_width = |width: f64| -> Option<f64> {
             let a = DigitalTrace::with_edges(
                 false,
@@ -229,8 +219,7 @@ mod tests {
             .unwrap();
             let b = DigitalTrace::constant(false);
             let out = ch.apply2(&a, &b).unwrap();
-            (out.transition_count() == 2)
-                .then(|| out.edges()[1].time - out.edges()[0].time)
+            (out.transition_count() == 2).then(|| out.edges()[1].time - out.edges()[0].time)
         };
         // Bisect to the boundary.
         let mut lo = ps(1.0);

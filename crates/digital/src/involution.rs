@@ -94,7 +94,11 @@ mod tests {
     fn exp_channel_is_involution() {
         let ch = ExpChannel::from_sis_delay(ps(40.0), ps(15.0)).unwrap();
         let report = check(|t| ch.delta(t), ps(-25.0), ps(300.0), 200);
-        assert!(report.holds(ps(1e-6)), "worst: {:e}", report.worst_violation);
+        assert!(
+            report.holds(ps(1e-6)),
+            "worst: {:e}",
+            report.worst_violation
+        );
         assert!(report.checked > 100);
     }
 
@@ -102,7 +106,11 @@ mod tests {
     fn sumexp_channel_is_involution() {
         let ch = SumExpChannel::from_sis_delay(ps(40.0), ps(15.0), 0.6, 3.0).unwrap();
         let report = check(|t| ch.delta(t), ps(-20.0), ps(300.0), 120);
-        assert!(report.holds(ps(0.01)), "worst: {:e}", report.worst_violation);
+        assert!(
+            report.holds(ps(0.01)),
+            "worst: {:e}",
+            report.worst_violation
+        );
     }
 
     #[test]

@@ -165,7 +165,8 @@ impl Network {
     ) -> Result<SignalId, SimError> {
         self.check_refs(name, &inputs)?;
         self.names.push(name.to_owned());
-        self.sources.push(Source::TwoInputChannelGate { inputs, channel });
+        self.sources
+            .push(Source::TwoInputChannelGate { inputs, channel });
         Ok(SignalId(self.sources.len() - 1))
     }
 
@@ -226,9 +227,10 @@ impl Network {
                         None => ideal,
                     }
                 }
-                Source::TwoInputChannelGate { inputs: gin, channel } => {
-                    channel.apply2(&traces[gin[0].0], &traces[gin[1].0])?
-                }
+                Source::TwoInputChannelGate {
+                    inputs: gin,
+                    channel,
+                } => channel.apply2(&traces[gin[0].0], &traces[gin[1].0])?,
             };
             traces.push(trace);
         }

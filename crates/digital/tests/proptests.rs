@@ -1,74 +1,82 @@
 //! Property-based tests for the delay channels: involution axioms,
 //! cancellation sanity, well-formedness of channel outputs under random
-//! traffic, and hybrid-channel causality.
+//! traffic, and hybrid-channel causality. On the in-repo `mis-testkit`
+//! harness (offline replacement for `proptest`).
 
 use mis_core::NorParams;
 use mis_digital::{
     gates, involution, ExpChannel, HybridNorChannel, InertialChannel, SumExpChannel,
     TraceTransform, TwoInputTransform,
 };
+use mis_testkit::prelude::*;
 use mis_waveform::units::ps;
 use mis_waveform::DigitalTrace;
-use proptest::prelude::*;
+
+/// The original proptest suite ran these properties at 48 cases each.
+const CASES: u32 = 48;
 
 /// Random well-formed trace with gaps on the gate-delay scale.
 fn trace(max_edges: usize) -> impl Strategy<Value = DigitalTrace> {
-    (
-        any::<bool>(),
-        prop::collection::vec(5e-12..400e-12f64, 0..max_edges),
-    )
-        .prop_map(|(init, gaps)| {
-            let mut t = 100e-12;
-            let mut v = init;
-            let mut trace = DigitalTrace::constant(init);
-            for g in gaps {
-                t += g;
-                v = !v;
-                trace.push_edge(t, v).expect("monotone");
-            }
-            trace
-        })
+    (any_bool(), vec(5e-12..400e-12f64, 0..max_edges)).prop_map(|(init, gaps)| {
+        let mut t = 100e-12;
+        let mut v = init;
+        let mut trace = DigitalTrace::constant(init);
+        for g in gaps {
+            t += g;
+            v = !v;
+            trace.push_edge(t, v).expect("monotone");
+        }
+        trace
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn exp_channel_involution_for_random_parameters(
-        sis_up in 20e-12..120e-12f64,
-        sis_down in 20e-12..120e-12f64,
-        dp in 0.0..15e-12f64,
-    ) {
-        prop_assume!(sis_up > dp + 1e-12 && sis_down > dp + 1e-12);
-        let ch = ExpChannel::from_sis_delays(sis_up, sis_down, dp).unwrap();
-        for i in 0..20 {
-            let t = -20e-12 + 10e-12 * i as f64;
-            let d = ch.delta_up(t);
-            if d.is_finite() {
-                let back = -ch.delta_down(-d);
-                // Tolerance: the ln/exp round trip amplifies f64 rounding
-                // when T ≫ τ; one attosecond absolute + 1e-6 relative is
-                // far below any physical significance.
-                prop_assert!((back - t).abs() < 1e-18 + 1e-6 * t.abs(),
-                    "pair involution broken at T={t:e}: {back:e}");
+#[test]
+fn exp_channel_involution_for_random_parameters() {
+    Config::with_cases(CASES).run(
+        &(20e-12..120e-12f64, 20e-12..120e-12f64, 0.0..15e-12f64),
+        |&(sis_up, sis_down, dp)| {
+            prop_assume!(sis_up > dp + 1e-12 && sis_down > dp + 1e-12);
+            let ch = ExpChannel::from_sis_delays(sis_up, sis_down, dp).unwrap();
+            for i in 0..20 {
+                let t = -20e-12 + 10e-12 * i as f64;
+                let d = ch.delta_up(t);
+                if d.is_finite() {
+                    let back = -ch.delta_down(-d);
+                    // Tolerance: the ln/exp round trip amplifies f64 rounding
+                    // when T ≫ τ; one attosecond absolute + 1e-6 relative is
+                    // far below any physical significance.
+                    prop_assert!(
+                        (back - t).abs() < 1e-18 + 1e-6 * t.abs(),
+                        "pair involution broken at T={t:e}: {back:e}"
+                    );
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sumexp_involution_for_random_shapes(
-        a in 0.1..0.9f64,
-        ratio in 1.2..8.0f64,
-        sis in 30e-12..100e-12f64,
-    ) {
-        let ch = SumExpChannel::from_sis_delay(sis, 10e-12, a, ratio).unwrap();
-        let rep = involution::check(|t| ch.delta(t), -15e-12, 300e-12, 60);
-        prop_assert!(rep.holds(ps(0.05)), "worst violation {:e} at {:e}",
-            rep.worst_violation, rep.worst_at);
-    }
+#[test]
+fn sumexp_involution_for_random_shapes() {
+    Config::with_cases(CASES).run(
+        &(0.1..0.9f64, 1.2..8.0f64, 30e-12..100e-12f64),
+        |&(a, ratio, sis)| {
+            let ch = SumExpChannel::from_sis_delay(sis, 10e-12, a, ratio).unwrap();
+            let rep = involution::check(|t| ch.delta(t), -15e-12, 300e-12, 60);
+            prop_assert!(
+                rep.holds(ps(0.05)),
+                "worst violation {:e} at {:e}",
+                rep.worst_violation,
+                rep.worst_at
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn channels_produce_wellformed_output_on_random_traffic(input in trace(12)) {
+#[test]
+fn channels_produce_wellformed_output_on_random_traffic() {
+    Config::with_cases(CASES).run(&trace(12), |input| {
         // Well-formedness is enforced by DigitalTrace construction inside
         // each channel; additionally: outputs are causal.
         let first_in = input.edges().first().map(|e| e.time);
@@ -78,20 +86,26 @@ proptest! {
             Box::new(SumExpChannel::from_sis_delay(ps(50.0), ps(15.0), 0.7, 3.0).unwrap()),
         ];
         for ch in &channels {
-            let out = ch.apply(&input).unwrap();
+            let out = ch.apply(input).unwrap();
             prop_assert_eq!(out.initial_value(), input.initial_value(), "{}", ch.name());
             if let (Some(t_in), Some(first_out)) = (first_in, out.edges().first()) {
                 prop_assert!(first_out.time > t_in, "{} output precedes input", ch.name());
             }
-            prop_assert!(out.transition_count() <= input.transition_count(),
-                "{} created transitions", ch.name());
+            prop_assert!(
+                out.transition_count() <= input.transition_count(),
+                "{} created transitions",
+                ch.name()
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hybrid_channel_causal_and_wellformed(a in trace(8), b in trace(8)) {
+#[test]
+fn hybrid_channel_causal_and_wellformed() {
+    Config::with_cases(CASES).run(&(trace(8), trace(8)), |(a, b)| {
         let ch = HybridNorChannel::new(&NorParams::paper_table1()).unwrap();
-        let out = ch.apply2(&a, &b).unwrap();
+        let out = ch.apply2(a, b).unwrap();
         // Initial value consistent with NOR of initial inputs.
         prop_assert_eq!(
             out.initial_value(),
@@ -108,38 +122,58 @@ proptest! {
         if let Some(first_out) = out.edges().first() {
             prop_assert!(first_out.time >= first_in + NorParams::paper_table1().delta_min - 1e-18);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hybrid_channel_monotone_under_time_shift(a in trace(6), b in trace(6), dt in 0.0..1e-9f64) {
-        // Time-invariance: shifting both inputs shifts the output.
-        let ch = HybridNorChannel::new(&NorParams::paper_table1()).unwrap();
-        let out = ch.apply2(&a, &b).unwrap();
-        let out_shifted = ch.apply2(&a.shifted(dt), &b.shifted(dt)).unwrap();
-        prop_assert_eq!(out.transition_count(), out_shifted.transition_count());
-        for (e1, e2) in out.edges().iter().zip(out_shifted.edges()) {
-            prop_assert!((e2.time - e1.time - dt).abs() < 1e-15,
-                "shift broken: {:e} vs {:e} + {dt:e}", e2.time, e1.time);
-            prop_assert_eq!(e1.rising, e2.rising);
-        }
-    }
+#[test]
+fn hybrid_channel_monotone_under_time_shift() {
+    Config::with_cases(CASES).run(
+        &(trace(6), trace(6), 0.0..1e-9f64),
+        |&(ref a, ref b, dt)| {
+            // Time-invariance: shifting both inputs shifts the output.
+            let ch = HybridNorChannel::new(&NorParams::paper_table1()).unwrap();
+            let out = ch.apply2(a, b).unwrap();
+            let out_shifted = ch.apply2(&a.shifted(dt), &b.shifted(dt)).unwrap();
+            prop_assert_eq!(out.transition_count(), out_shifted.transition_count());
+            for (e1, e2) in out.edges().iter().zip(out_shifted.edges()) {
+                prop_assert!(
+                    (e2.time - e1.time - dt).abs() < 1e-15,
+                    "shift broken: {:e} vs {:e} + {dt:e}",
+                    e2.time,
+                    e1.time
+                );
+                prop_assert_eq!(e1.rising, e2.rising);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn zero_time_gates_satisfy_boolean_algebra(a in trace(6), b in trace(6)) {
+#[test]
+fn zero_time_gates_satisfy_boolean_algebra() {
+    Config::with_cases(CASES).run(&(trace(6), trace(6)), |(a, b)| {
         // De Morgan over traces: NOR(a,b) == AND(¬a, ¬b).
-        let lhs = gates::nor(&a, &b).unwrap();
-        let rhs = gates::and(&gates::not(&a).unwrap(), &gates::not(&b).unwrap()).unwrap();
+        let lhs = gates::nor(a, b).unwrap();
+        let rhs = gates::and(&gates::not(a).unwrap(), &gates::not(b).unwrap()).unwrap();
         prop_assert_eq!(lhs, rhs);
         // Idempotence: OR(a, a) == a.
-        prop_assert_eq!(gates::or(&a, &a.clone()).unwrap(), a);
-    }
+        prop_assert_eq!(&gates::or(a, a).unwrap(), a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pure_delay_commutes_with_gates(a in trace(6), b in trace(6), d in 0.0..100e-12f64) {
-        // Delaying both inputs then NOR-ing equals NOR-ing then delaying.
-        let ch = mis_digital::PureDelayChannel::new(d).unwrap();
-        let path1 = gates::nor(&ch.apply(&a).unwrap(), &ch.apply(&b).unwrap()).unwrap();
-        let path2 = ch.apply(&gates::nor(&a, &b).unwrap()).unwrap();
-        prop_assert_eq!(path1, path2);
-    }
+#[test]
+fn pure_delay_commutes_with_gates() {
+    Config::with_cases(CASES).run(
+        &(trace(6), trace(6), 0.0..100e-12f64),
+        |&(ref a, ref b, d)| {
+            // Delaying both inputs then NOR-ing equals NOR-ing then delaying.
+            let ch = mis_digital::PureDelayChannel::new(d).unwrap();
+            let path1 = gates::nor(&ch.apply(a).unwrap(), &ch.apply(b).unwrap()).unwrap();
+            let path2 = ch.apply(&gates::nor(a, b).unwrap()).unwrap();
+            prop_assert_eq!(path1, path2);
+            Ok(())
+        },
+    );
 }

@@ -216,7 +216,12 @@ impl AffineMode {
     fn new(lambda: f64, v: [f64; 2], c0: f64, g: f64) -> Self {
         if lambda == 0.0 {
             // x_i(t) = c0 + g t
-            AffineMode { lambda, v, c: c0, g }
+            AffineMode {
+                lambda,
+                v,
+                c: c0,
+                g,
+            }
         } else {
             // x_i(t) = (c0 + g/λ) e^{λt} − g/λ
             AffineMode {
@@ -310,10 +315,7 @@ mod tests {
     #[test]
     fn classifies_repeated() {
         let e = Eigen2::new([[2.0, 0.0], [0.0, 2.0]]);
-        assert!(matches!(
-            e.eigenvalues(),
-            Eigenvalues2::RealRepeated { .. }
-        ));
+        assert!(matches!(e.eigenvalues(), Eigenvalues2::RealRepeated { .. }));
     }
 
     #[test]

@@ -188,8 +188,8 @@ mod tests {
 
     #[test]
     fn solve_known_3x3() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
         let lu = LuFactors::new(&a).unwrap();
         let x = lu.solve(&[5.0, -2.0, 9.0]).unwrap();
         // Known solution x = [1, 1, 2].
@@ -231,8 +231,7 @@ mod tests {
         let i = Matrix::identity(3);
         assert!(approx_eq(LuFactors::new(&i).unwrap().det(), 1.0, 1e-15));
         // Swapping two rows of the identity flips the determinant's sign.
-        let s = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]])
-            .unwrap();
+        let s = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         assert!(approx_eq(LuFactors::new(&s).unwrap().det(), -1.0, 1e-15));
     }
 

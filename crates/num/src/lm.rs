@@ -316,12 +316,7 @@ mod tests {
     #[test]
     fn rejects_non_finite_start() {
         assert!(matches!(
-            levenberg_marquardt(
-                |_, out| out.fill(f64::NAN),
-                &[1.0],
-                2,
-                &LmConfig::default()
-            ),
+            levenberg_marquardt(|_, out| out.fill(f64::NAN), &[1.0], 2, &LmConfig::default()),
             Err(NumError::NonFiniteValue { .. })
         ));
     }
@@ -344,13 +339,8 @@ mod tests {
 
     #[test]
     fn stalls_gracefully_on_flat_objective() {
-        let fit = levenberg_marquardt(
-            |_, out| out.fill(1.0),
-            &[0.5, 0.5],
-            3,
-            &LmConfig::default(),
-        )
-        .unwrap();
+        let fit = levenberg_marquardt(|_, out| out.fill(1.0), &[0.5, 0.5], 3, &LmConfig::default())
+            .unwrap();
         // Nothing to improve; must terminate claiming convergence-at-stall.
         assert!(fit.converged);
         assert!((fit.cost - 1.5).abs() < 1e-12);

@@ -238,7 +238,11 @@ impl NelderMead {
             simplex.push(v);
         }
         let mut fvals: Vec<f64> = Vec::with_capacity(n + 1);
-        fvals.push(if f0_raw.is_nan() { f64::INFINITY } else { f0_raw });
+        fvals.push(if f0_raw.is_nan() {
+            f64::INFINITY
+        } else {
+            f0_raw
+        });
         fvals.extend(simplex[1..].iter().map(|p| eval(p, &mut evals)));
 
         let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
@@ -430,7 +434,10 @@ mod tests {
     fn nelder_mead_zero_start_coordinates() {
         // Starting at the origin exercises the absolute-step branch.
         let r = NelderMead::new()
-            .minimize(|p| (p[0] - 0.5).powi(2) + (p[1] + 0.25).powi(2), &[0.0, 0.0])
+            .minimize(
+                |p| (p[0] - 0.5).powi(2) + (p[1] + 0.25).powi(2),
+                &[0.0, 0.0],
+            )
             .unwrap();
         assert!((r.x[0] - 0.5).abs() < 1e-5);
         assert!((r.x[1] + 0.25).abs() < 1e-5);

@@ -66,14 +66,18 @@ pub fn abs_area_between(
     // Union grid restricted to [lo, hi].
     let mut grid: Vec<f64> = Vec::with_capacity(xs_f.len() + xs_g.len() + 2);
     grid.push(lo);
-    grid.extend(xs_f.iter().chain(xs_g.iter()).copied().filter(|&x| x > lo && x < hi));
+    grid.extend(
+        xs_f.iter()
+            .chain(xs_g.iter())
+            .copied()
+            .filter(|&x| x > lo && x < hi),
+    );
     grid.push(hi);
     grid.sort_by(|a, b| a.partial_cmp(b).expect("finite abscissae"));
     grid.dedup();
 
     let mut acc = 0.0;
-    let eval =
-        |xs: &[f64], ys: &[f64], x: f64| crate::interp::lerp_table_unchecked(xs, ys, x);
+    let eval = |xs: &[f64], ys: &[f64], x: f64| crate::interp::lerp_table_unchecked(xs, ys, x);
     for w in grid.windows(2) {
         let (x0, x1) = (w[0], w[1]);
         let d0 = eval(xs_f, ys_f, x0) - eval(xs_g, ys_g, x0);

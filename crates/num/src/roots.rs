@@ -96,12 +96,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(
 /// # Ok(())
 /// # }
 /// ```
-pub fn brent<F: FnMut(f64) -> f64>(
-    mut f: F,
-    a: f64,
-    b: f64,
-    xtol: f64,
-) -> Result<f64, NumError> {
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, xtol: f64) -> Result<f64, NumError> {
     let (mut xa, mut xb) = (a, b);
     let mut fa = f(xa);
     let mut fb = f(xb);

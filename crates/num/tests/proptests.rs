@@ -1,19 +1,23 @@
-//! Property-based tests for the numerics substrate.
+//! Property-based tests for the numerics substrate, on the in-repo
+//! `mis-testkit` harness (offline replacement for `proptest`).
 
 use mis_num::{exproots, interp, lm, minimize, ode, quad, roots};
-use proptest::prelude::*;
+use mis_testkit::prelude::*;
 
-proptest! {
-    #[test]
-    fn brent_finds_roots_of_shifted_cubics(shift in -5.0..5.0f64) {
+#[test]
+fn brent_finds_roots_of_shifted_cubics() {
+    Config::default().run(&(-5.0..5.0f64), |&shift| {
         // f(x) = (x − shift)³ has a unique root at `shift`.
         let f = |x: f64| (x - shift).powi(3);
         let r = roots::brent(f, -10.0, 10.0, 1e-14).unwrap();
         prop_assert!((r - shift).abs() < 1e-4, "root {} vs {}", r, shift);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn brent_and_bisect_agree(a in 0.2..3.0f64, b in 0.2..3.0f64) {
+#[test]
+fn brent_and_bisect_agree() {
+    Config::default().run(&(0.2..3.0f64, 0.2..3.0f64), |&(a, b)| {
         // Monotone transcendental with a root guaranteed in the bracket.
         let f = move |x: f64| a * x - (b / (x + 1.0));
         let lo = 0.0;
@@ -22,32 +26,39 @@ proptest! {
         let r1 = roots::brent(f, lo, hi, 1e-13).unwrap();
         let r2 = roots::bisect(f, lo, hi, 1e-11).unwrap();
         prop_assert!((r1 - r2).abs() < 1e-8);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn golden_section_brackets_parabola_vertex(v in -8.0..8.0f64, c in 0.1..5.0f64) {
+#[test]
+fn golden_section_brackets_parabola_vertex() {
+    Config::default().run(&(-8.0..8.0f64, 0.1..5.0f64), |&(v, c)| {
         let m = minimize::golden_section(|x| c * (x - v) * (x - v), -10.0, 10.0, 1e-11).unwrap();
         prop_assert!((m.x - v).abs() < 1e-4);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn nelder_mead_solves_random_quadratics(
-        cx in -3.0..3.0f64,
-        cy in -3.0..3.0f64,
-        sx in 0.5..4.0f64,
-        sy in 0.5..4.0f64,
-    ) {
-        let f = move |p: &[f64]| sx * (p[0] - cx).powi(2) + sy * (p[1] - cy).powi(2);
-        let r = minimize::NelderMead::new()
-            .with_max_evals(3000)
-            .minimize(f, &[0.0, 0.0])
-            .unwrap();
-        prop_assert!((r.x[0] - cx).abs() < 1e-3, "{} vs {}", r.x[0], cx);
-        prop_assert!((r.x[1] - cy).abs() < 1e-3);
-    }
+#[test]
+fn nelder_mead_solves_random_quadratics() {
+    Config::default().run(
+        &(-3.0..3.0f64, -3.0..3.0f64, 0.5..4.0f64, 0.5..4.0f64),
+        |&(cx, cy, sx, sy)| {
+            let f = move |p: &[f64]| sx * (p[0] - cx).powi(2) + sy * (p[1] - cy).powi(2);
+            let r = minimize::NelderMead::new()
+                .with_max_evals(3000)
+                .minimize(f, &[0.0, 0.0])
+                .unwrap();
+            prop_assert!((r.x[0] - cx).abs() < 1e-3, "{} vs {}", r.x[0], cx);
+            prop_assert!((r.x[1] - cy).abs() < 1e-3);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lm_recovers_two_parameter_exponential(a in 0.2..2.0f64, tau in 0.1..2.0f64) {
+#[test]
+fn lm_recovers_two_parameter_exponential() {
+    Config::default().run(&(0.2..2.0f64, 0.1..2.0f64), |&(a, tau)| {
         let ts: Vec<f64> = (0..25).map(|i| i as f64 * 0.1).collect();
         let data: Vec<f64> = ts.iter().map(|t| a * (-t / tau).exp()).collect();
         let fit = lm::levenberg_marquardt(
@@ -59,113 +70,144 @@ proptest! {
             &[1.0, 1.0],
             ts.len(),
             &lm::LmConfig::default(),
-        ).unwrap();
+        )
+        .unwrap();
         prop_assert!((fit.x[0] - a).abs() < 1e-4, "a: {} vs {}", fit.x[0], a);
-        prop_assert!((fit.x[1] - tau).abs() < 1e-4, "tau: {} vs {}", fit.x[1], tau);
-    }
+        prop_assert!(
+            (fit.x[1] - tau).abs() < 1e-4,
+            "tau: {} vs {}",
+            fit.x[1],
+            tau
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rk45_matches_closed_form_decay(k in 0.1..20.0f64, y0 in 0.1..2.0f64) {
+#[test]
+fn rk45_matches_closed_form_decay() {
+    Config::default().run(&(0.1..20.0f64, 0.1..2.0f64), |&(k, y0)| {
         let samples = ode::integrate_adaptive(
             |_t, y, dy| dy[0] = -k * y[0],
             0.0,
             1.0,
             &[y0],
             &ode::AdaptiveOptions::default(),
-        ).unwrap();
+        )
+        .unwrap();
         let yf = samples.last().unwrap().y[0];
         let exact = y0 * (-k).exp();
         prop_assert!((yf - exact).abs() < 1e-7 * (1.0 + exact.abs()));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn exp2_crossings_are_actual_roots(
-        a in -2.0..2.0f64,
-        b in -2.0..2.0f64,
-        l1 in -20.0..-0.1f64,
-        l2 in -20.0..-0.1f64,
-        c in -1.5..1.5f64,
-    ) {
-        prop_assume!(a != 0.0 || b != 0.0);
-        let rts = exproots::exp2_crossings(a, l1, b, l2, c, 10.0).unwrap();
-        prop_assert!(rts.len() <= 2, "at most two roots: {rts:?}");
-        for &t in &rts {
-            let f = a * (l1 * t).exp() + b * (l2 * t).exp() - c;
-            prop_assert!(f.abs() < 1e-8, "f({t}) = {f}");
-        }
-        // Roots sorted.
-        for w in rts.windows(2) {
-            prop_assert!(w[0] <= w[1]);
-        }
-    }
-
-    #[test]
-    fn exp2_crossings_no_missed_roots_vs_dense_sampling(
-        a in -2.0..2.0f64,
-        b in -2.0..2.0f64,
-        l1 in -10.0..-0.1f64,
-        l2 in -10.0..-0.1f64,
-        c in -1.5..1.5f64,
-    ) {
-        prop_assume!(a != 0.0 || b != 0.0);
-        let rts = exproots::exp2_crossings(a, l1, b, l2, c, 5.0).unwrap();
-        // Count sign changes on a fine grid; must not exceed analytic count.
-        let f = |t: f64| a * (l1 * t).exp() + b * (l2 * t).exp() - c;
-        let mut grid_changes = 0;
-        let n = 20_000;
-        let mut prev = f(0.0);
-        for i in 1..=n {
-            let t = 5.0 * i as f64 / n as f64;
-            let v = f(t);
-            if prev != 0.0 && v != 0.0 && prev.signum() != v.signum() {
-                grid_changes += 1;
+#[test]
+fn exp2_crossings_are_actual_roots() {
+    Config::default().run(
+        &(
+            -2.0..2.0f64,
+            -2.0..2.0f64,
+            -20.0..-0.1f64,
+            -20.0..-0.1f64,
+            -1.5..1.5f64,
+        ),
+        |&(a, b, l1, l2, c)| {
+            prop_assume!(a != 0.0 || b != 0.0);
+            let rts = exproots::exp2_crossings(a, l1, b, l2, c, 10.0).unwrap();
+            prop_assert!(rts.len() <= 2, "at most two roots: {rts:?}");
+            for &t in &rts {
+                let f = a * (l1 * t).exp() + b * (l2 * t).exp() - c;
+                prop_assert!(f.abs() < 1e-8, "f({t}) = {f}");
             }
-            prev = v;
-        }
-        prop_assert!(
-            rts.len() >= grid_changes,
-            "analytic {} roots but grid found {} sign changes",
-            rts.len(),
-            grid_changes
-        );
-    }
+            // Roots sorted.
+            for w in rts.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lerp_is_exact_on_linear_functions(
-        m in -5.0..5.0f64,
-        q in -5.0..5.0f64,
-        x in -0.5..10.5f64,
-    ) {
-        let xs: Vec<f64> = (0..11).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&v| m * v + q).collect();
-        let y = interp::lerp_table(&xs, &ys, x).unwrap();
-        let expected = m * x.clamp(0.0, 10.0) + q;
-        prop_assert!((y - expected).abs() < 1e-9 * (1.0 + expected.abs()));
-    }
+#[test]
+fn exp2_crossings_no_missed_roots_vs_dense_sampling() {
+    Config::default().run(
+        &(
+            -2.0..2.0f64,
+            -2.0..2.0f64,
+            -10.0..-0.1f64,
+            -10.0..-0.1f64,
+            -1.5..1.5f64,
+        ),
+        |&(a, b, l1, l2, c)| {
+            prop_assume!(a != 0.0 || b != 0.0);
+            let rts = exproots::exp2_crossings(a, l1, b, l2, c, 5.0).unwrap();
+            // Count sign changes on a fine grid; must not exceed analytic count.
+            let f = |t: f64| a * (l1 * t).exp() + b * (l2 * t).exp() - c;
+            let mut grid_changes = 0;
+            let n = 20_000;
+            let mut prev = f(0.0);
+            for i in 1..=n {
+                let t = 5.0 * i as f64 / n as f64;
+                let v = f(t);
+                if prev != 0.0 && v != 0.0 && prev.signum() != v.signum() {
+                    grid_changes += 1;
+                }
+                prev = v;
+            }
+            prop_assert!(
+                rts.len() >= grid_changes,
+                "analytic {} roots but grid found {} sign changes",
+                rts.len(),
+                grid_changes
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn abs_area_triangle_inequality(
-        f in prop::collection::vec(-2.0..2.0f64, 6),
-        g in prop::collection::vec(-2.0..2.0f64, 6),
-        h in prop::collection::vec(-2.0..2.0f64, 6),
-    ) {
-        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
-        let d = |p: &[f64], q: &[f64]| quad::abs_area_between(&xs, p, &xs, q).unwrap();
-        let fg = d(&f, &g);
-        let gh = d(&g, &h);
-        let fh = d(&f, &h);
-        prop_assert!(fh <= fg + gh + 1e-9, "triangle: {fh} > {fg} + {gh}");
-    }
+#[test]
+fn lerp_is_exact_on_linear_functions() {
+    Config::default().run(
+        &(-5.0..5.0f64, -5.0..5.0f64, -0.5..10.5f64),
+        |&(m, q, x)| {
+            let xs: Vec<f64> = (0..11).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|&v| m * v + q).collect();
+            let y = interp::lerp_table(&xs, &ys, x).unwrap();
+            let expected = m * x.clamp(0.0, 10.0) + q;
+            prop_assert!((y - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn trapezoid_linearity(
-        ys in prop::collection::vec(-3.0..3.0f64, 8),
-        scale in -2.0..2.0f64,
-    ) {
+#[test]
+fn abs_area_triangle_inequality() {
+    Config::default().run(
+        &(
+            vec(-2.0..2.0f64, 6),
+            vec(-2.0..2.0f64, 6),
+            vec(-2.0..2.0f64, 6),
+        ),
+        |(f, g, h)| {
+            let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+            let d = |p: &[f64], q: &[f64]| quad::abs_area_between(&xs, p, &xs, q).unwrap();
+            let fg = d(f, g);
+            let gh = d(g, h);
+            let fh = d(f, h);
+            prop_assert!(fh <= fg + gh + 1e-9, "triangle: {fh} > {fg} + {gh}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn trapezoid_linearity() {
+    Config::default().run(&(vec(-3.0..3.0f64, 8), -2.0..2.0f64), |(ys, scale)| {
         let xs: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
         let scaled: Vec<f64> = ys.iter().map(|v| v * scale).collect();
-        let a1 = quad::trapezoid(&xs, &ys).unwrap();
+        let a1 = quad::trapezoid(&xs, ys).unwrap();
         let a2 = quad::trapezoid(&xs, &scaled).unwrap();
         prop_assert!((a2 - scale * a1).abs() < 1e-9 * (1.0 + a1.abs()));
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,273 @@
+//! A small, fast, reproducible PRNG for tests, trace generation and
+//! benchmarks.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded by
+//! expanding a single `u64` through **SplitMix64** — the standard
+//! construction that turns an arbitrary (even all-zero) seed into a
+//! well-mixed 256-bit state. Not cryptographic; statistically more than
+//! adequate for randomized testing and waveform generation, and the
+//! stream for a given seed is stable across platforms and releases
+//! (per-seed determinism is part of the public contract and is covered
+//! by unit tests).
+
+use std::ops::Range;
+
+/// Multiplicative constant of the SplitMix64 output function.
+const SPLITMIX_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Advances a SplitMix64 state and returns the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(SPLITMIX_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256++ generator with the `rand`-style convenience
+/// surface the workspace uses (`seed_from_u64`, `gen_bool`, `gen_range`).
+///
+/// # Examples
+///
+/// ```
+/// use mis_testkit::rng::TestRng;
+///
+/// let mut rng = TestRng::seed_from_u64(42);
+/// let x: f64 = rng.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// let mut again = TestRng::seed_from_u64(42);
+/// assert_eq!(x, again.gen_range(0.0..1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// A uniform `u64` in `[0, n)` via Lemire's multiply-shift method with
+    /// rejection — exactly unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn gen_u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_u64_below: empty range");
+        // 2^64 mod n; multiply-shift outputs below this threshold would be
+        // over-represented, so reject and redraw them.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(n);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform draw from a half-open range; supported for `f64` and the
+    /// integer types the workspace samples (see [`SampleRange`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// A range that [`TestRng::gen_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut TestRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample(self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start < self.end,
+            "gen_range: empty f64 range {}..{}",
+            self.start,
+            self.end
+        );
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Floating-point rounding of start + u*(end-start) can land exactly
+        // on `end`; nudge one ULP back toward `start` (sign-correct, unlike
+        // raw bit decrements, which break for end <= 0).
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "gen_range: empty integer range"
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.gen_u64_below(span);
+                (self.start as i128 + i128::from(off)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::seed_from_u64(7);
+        let mut b = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        // SplitMix64 expansion guarantees a non-degenerate state even for
+        // seed 0 (all-zero xoshiro state would be a fixed point).
+        let mut rng = TestRng::seed_from_u64(0);
+        assert_ne!(rng.s, [0; 4]);
+        let first: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn stream_is_pinned_across_releases() {
+        // Golden values: per-seed determinism is part of the contract
+        // relied on by waveform generation; a library change that alters
+        // the stream must be deliberate.
+        let mut rng = TestRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 15021278609987233951);
+        assert_eq!(rng.next_u64(), 5881210131331364753);
+        assert_eq!(rng.next_u64(), 18149643915985481100);
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_covers() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for &p in &[0.1, 0.5, 0.9] {
+            let hits = (0..20_000).filter(|_| rng.gen_bool(p)).count();
+            let freq = hits as f64 / 20_000.0;
+            assert!(
+                (freq - p).abs() < 0.02,
+                "p = {p}: observed frequency {freq}"
+            );
+        }
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_range_f64_bounds_and_mean() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let v = rng.gen_range(-2.0..6.0);
+            assert!((-2.0..6.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean} far from 2.0");
+    }
+
+    #[test]
+    fn gen_range_integers_hit_every_value() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let mut counts = [0usize; 7];
+        for _ in 0..7_000 {
+            counts[rng.gen_range(0usize..7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 700, "value {i} drawn only {c} times");
+        }
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_range_panics() {
+        let mut rng = TestRng::seed_from_u64(0);
+        let _ = rng.gen_range(1.0..1.0);
+    }
+}

@@ -275,8 +275,7 @@ mod tests {
 
     #[test]
     fn first_crossing_after_skips_earlier() {
-        let w =
-            AnalogWaveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
+        let w = AnalogWaveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
         let c = w.first_crossing_after(0.5, 1.0).unwrap().unwrap();
         assert!((c.0 - 1.5).abs() < 1e-15);
         assert!(!c.1, "the later crossing is falling");
@@ -322,8 +321,7 @@ mod tests {
 
     #[test]
     fn window_clips_and_interpolates() {
-        let w =
-            AnalogWaveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
+        let w = AnalogWaveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
         let win = w.window(0.5, 1.5).unwrap();
         assert_eq!(win.t_start(), 0.5);
         assert_eq!(win.t_end(), 1.5);

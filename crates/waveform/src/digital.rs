@@ -175,7 +175,10 @@ impl DigitalTrace {
                 break;
             }
         }
-        DigitalTrace::with_edges(self.initial, edges.into_iter().map(|e| (e.time, e.rising)).collect())
+        DigitalTrace::with_edges(
+            self.initial,
+            edges.into_iter().map(|e| (e.time, e.rising)).collect(),
+        )
     }
 
     /// Shifts every edge by `dt`.
@@ -341,11 +344,8 @@ mod tests {
 
     #[test]
     fn pulse_widths_iterator() {
-        let t = DigitalTrace::with_edges(
-            false,
-            vec![(1.0, true), (3.0, false), (7.0, true)],
-        )
-        .unwrap();
+        let t =
+            DigitalTrace::with_edges(false, vec![(1.0, true), (3.0, false), (7.0, true)]).unwrap();
         let w: Vec<f64> = t.pulse_widths().collect();
         assert_eq!(w, vec![2.0, 4.0]);
     }

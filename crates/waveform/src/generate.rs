@@ -17,8 +17,7 @@
 //! (the normal distribution has unbounded support; SPICE decks need
 //! positive, non-overlapping edges).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mis_testkit::rng::TestRng;
 
 use crate::{DigitalTrace, WaveformError};
 
@@ -116,7 +115,7 @@ impl TraceConfig {
                 reason: "at least one transition required".into(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut a = DigitalTrace::constant(false);
         let mut b = DigitalTrace::constant(false);
 
@@ -166,10 +165,9 @@ impl TraceConfig {
     }
 
     /// Draws one `N(µ, σ²)` interval, clamped at `min_gap`
-    /// (Box–Muller; `rand`'s small-footprint build has no normal
-    /// distribution, and two uniform draws per sample keep the stream
-    /// reproducible).
-    fn interval(&self, rng: &mut StdRng) -> f64 {
+    /// (Box–Muller; the testkit PRNG is uniform-only, and exactly two
+    /// uniform draws per sample keep the stream reproducible).
+    fn interval(&self, rng: &mut TestRng) -> f64 {
         let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -263,13 +261,12 @@ mod tests {
         // inputs should essentially never be within 100 ps.
         let cfg = TraceConfig::new(ps(5000.0), ps(5.0), Assignment::Global, 250);
         let p = cfg.generate(5).unwrap();
-        let mut all: Vec<(f64, char)> = p
-            .a
-            .edges()
-            .iter()
-            .map(|e| (e.time, 'a'))
-            .chain(p.b.edges().iter().map(|e| (e.time, 'b')))
-            .collect();
+        let mut all: Vec<(f64, char)> =
+            p.a.edges()
+                .iter()
+                .map(|e| (e.time, 'a'))
+                .chain(p.b.edges().iter().map(|e| (e.time, 'b')))
+                .collect();
         all.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
         let close_cross_pairs = all
             .windows(2)
@@ -282,13 +279,12 @@ mod tests {
     fn horizon_covers_all_edges() {
         let cfg = TraceConfig::new(ps(100.0), ps(50.0), Assignment::Local, 100);
         let p = cfg.generate(9).unwrap();
-        let last = p
-            .a
-            .edges()
-            .last()
-            .unwrap()
-            .time
-            .max(p.b.edges().last().unwrap().time);
+        let last =
+            p.a.edges()
+                .last()
+                .unwrap()
+                .time
+                .max(p.b.edges().last().unwrap().time);
         assert!(p.horizon > last);
     }
 

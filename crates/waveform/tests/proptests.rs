@@ -1,61 +1,66 @@
 //! Property-based tests for traces, digitization and the deviation-area
-//! metric.
+//! metric, on the in-repo `mis-testkit` harness (offline replacement for
+//! `proptest`).
 
+use mis_testkit::prelude::*;
 use mis_waveform::generate::{Assignment, TraceConfig};
 use mis_waveform::units::ps;
 use mis_waveform::{deviation_area, AnalogWaveform, DigitalTrace};
-use proptest::prelude::*;
 
 /// Strategy: a well-formed digital trace with up to 8 alternating edges.
 fn trace() -> impl Strategy<Value = DigitalTrace> {
-    (
-        any::<bool>(),
-        prop::collection::vec(0.01..10.0f64, 0..8),
-    )
-        .prop_map(|(init, gaps)| {
-            let mut t = 0.0;
-            let mut v = init;
-            let mut trace = DigitalTrace::constant(init);
-            for g in gaps {
-                t += g;
-                v = !v;
-                trace.push_edge(t, v).expect("monotone by construction");
-            }
-            trace
-        })
+    (any_bool(), vec(0.01..10.0f64, 0..8)).prop_map(|(init, gaps)| {
+        let mut t = 0.0;
+        let mut v = init;
+        let mut trace = DigitalTrace::constant(init);
+        for g in gaps {
+            t += g;
+            v = !v;
+            trace.push_edge(t, v).expect("monotone by construction");
+        }
+        trace
+    })
 }
 
-proptest! {
-    #[test]
-    fn deviation_area_is_a_pseudometric(a in trace(), b in trace(), c in trace()) {
+#[test]
+fn deviation_area_is_a_pseudometric() {
+    Config::default().run(&(trace(), trace(), trace()), |(a, b, c)| {
         let t1 = 100.0;
-        let d_ab = deviation_area(&a, &b, 0.0, t1).unwrap();
-        let d_ba = deviation_area(&b, &a, 0.0, t1).unwrap();
-        let d_ac = deviation_area(&a, &c, 0.0, t1).unwrap();
-        let d_cb = deviation_area(&c, &b, 0.0, t1).unwrap();
-        let d_aa = deviation_area(&a, &a, 0.0, t1).unwrap();
+        let d_ab = deviation_area(a, b, 0.0, t1).unwrap();
+        let d_ba = deviation_area(b, a, 0.0, t1).unwrap();
+        let d_ac = deviation_area(a, c, 0.0, t1).unwrap();
+        let d_cb = deviation_area(c, b, 0.0, t1).unwrap();
+        let d_aa = deviation_area(a, a, 0.0, t1).unwrap();
         prop_assert_eq!(d_aa, 0.0);
         prop_assert_eq!(d_ab, d_ba);
         prop_assert!(d_ab <= d_ac + d_cb + 1e-12, "triangle inequality");
         prop_assert!(d_ab >= 0.0 && d_ab <= t1);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn shifting_changes_area_by_at_most_shift_per_edge(a in trace(), dt in 0.0..0.5f64) {
-        let shifted = a.shifted(dt);
-        let d = deviation_area(&a, &shifted, 0.0, 200.0).unwrap();
+#[test]
+fn shifting_changes_area_by_at_most_shift_per_edge() {
+    Config::default().run(&(trace(), 0.0..0.5f64), |(a, dt)| {
+        let shifted = a.shifted(*dt);
+        let d = deviation_area(a, &shifted, 0.0, 200.0).unwrap();
         let bound = dt * a.transition_count() as f64 + 1e-12;
         prop_assert!(d <= bound, "area {d} exceeds bound {bound}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn render_digitize_round_trip(a in trace()) {
+#[test]
+fn render_digitize_round_trip() {
+    Config::default().run(&trace(), |a| {
         // Render with a slew smaller than the minimum gap, then digitize:
         // the original edge times must be recovered.
-        let min_gap = a
-            .pulse_widths()
-            .fold(f64::INFINITY, f64::min);
-        let slew = if min_gap.is_finite() { (min_gap * 0.5).min(0.005) } else { 0.005 };
+        let min_gap = a.pulse_widths().fold(f64::INFINITY, f64::min);
+        let slew = if min_gap.is_finite() {
+            (min_gap * 0.5).min(0.005)
+        } else {
+            0.005
+        };
         prop_assume!(slew > 1e-9);
         let w = a.render_analog(1.0, slew, -1.0, 100.0).unwrap();
         let d = w.digitize(0.5).unwrap();
@@ -64,55 +69,70 @@ proptest! {
             prop_assert!((e1.time - e2.time).abs() < 1e-9);
             prop_assert_eq!(e1.rising, e2.rising);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn filter_short_pulses_is_idempotent(a in trace(), w in 0.0..2.0f64) {
-        let once = a.filter_short_pulses(w).unwrap();
-        let twice = once.filter_short_pulses(w).unwrap();
+#[test]
+fn filter_short_pulses_is_idempotent() {
+    Config::default().run(&(trace(), 0.0..2.0f64), |(a, w)| {
+        let once = a.filter_short_pulses(*w).unwrap();
+        let twice = once.filter_short_pulses(*w).unwrap();
         prop_assert_eq!(&once, &twice);
         // And never yields a pulse shorter than the window.
         for pw in once.pulse_widths() {
             prop_assert!(pw >= w - 1e-15);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn value_at_consistent_with_edges(a in trace()) {
+#[test]
+fn value_at_consistent_with_edges() {
+    Config::default().run(&trace(), |a| {
         prop_assert_eq!(a.value_at(-1.0), a.initial_value());
         prop_assert_eq!(a.value_at(1e9), a.final_value());
         for e in a.edges() {
             prop_assert_eq!(a.value_at(e.time), e.rising);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn generated_traces_are_wellformed(
-        seed in 0u64..500,
-        local in any::<bool>(),
-        transitions in 1usize..120,
-    ) {
-        let assignment = if local { Assignment::Local } else { Assignment::Global };
-        let cfg = TraceConfig::new(ps(200.0), ps(80.0), assignment, transitions);
-        let pair = cfg.generate(seed).unwrap();
-        prop_assert_eq!(
-            pair.a.transition_count() + pair.b.transition_count(),
-            transitions
-        );
-        // Both traces start low; edge lists are validated by construction,
-        // but re-check monotonicity to guard the generator.
-        for t in [&pair.a, &pair.b] {
-            prop_assert!(!t.initial_value());
-            for w in t.edges().windows(2) {
-                prop_assert!(w[1].time > w[0].time);
+#[test]
+fn generated_traces_are_wellformed() {
+    Config::default().run(
+        &(0u64..500, any_bool(), 1usize..120),
+        |&(seed, local, transitions)| {
+            let assignment = if local {
+                Assignment::Local
+            } else {
+                Assignment::Global
+            };
+            let cfg = TraceConfig::new(ps(200.0), ps(80.0), assignment, transitions);
+            let pair = cfg.generate(seed).unwrap();
+            prop_assert_eq!(
+                pair.a.transition_count() + pair.b.transition_count(),
+                transitions
+            );
+            // Both traces start low; edge lists are validated by construction,
+            // but re-check monotonicity to guard the generator.
+            for t in [&pair.a, &pair.b] {
+                prop_assert!(!t.initial_value());
+                for w in t.edges().windows(2) {
+                    prop_assert!(w[1].time > w[0].time);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn analog_crossings_alternate(samples in prop::collection::vec(-1.0..2.0f64, 2..40)) {
+#[test]
+fn analog_crossings_alternate() {
+    Config::default().run(&vec(-1.0..2.0f64, 2..40), |samples| {
         let ts: Vec<f64> = (0..samples.len()).map(|i| i as f64).collect();
-        let w = AnalogWaveform::from_samples(ts, samples).unwrap();
+        let w = AnalogWaveform::from_samples(ts, samples.clone()).unwrap();
         let d = w.digitize(0.5).unwrap();
         // Digitization must produce a well-formed (alternating) trace —
         // with_edges would have rejected it otherwise; check value
@@ -123,5 +143,6 @@ proptest! {
             prop_assert_ne!(e.rising, prev);
             prev = e.rising;
         }
-    }
+        Ok(())
+    });
 }

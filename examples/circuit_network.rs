@@ -7,9 +7,7 @@
 //! Run: `cargo run --release --example circuit_network`
 
 use mis_delay::core::NorParams;
-use mis_delay::digital::{
-    GateKind, HybridNorChannel, InertialChannel, Network,
-};
+use mis_delay::digital::{GateKind, HybridNorChannel, InertialChannel, Network};
 use mis_delay::waveform::units::{ps, to_ps};
 use mis_delay::waveform::DigitalTrace;
 

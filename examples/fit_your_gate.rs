@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let dmin = (2.0 * targets.fall_zero - targets.fall_minus_inf).max(0.0);
     println!();
-    println!("3) pure delay from the ratio-2 rule: δ_min = 2·δ↓(0) − δ↓(−∞) = {:.2} ps", dmin * 1e12);
+    println!(
+        "3) pure delay from the ratio-2 rule: δ_min = 2·δ↓(0) − δ↓(−∞) = {:.2} ps",
+        dmin * 1e12
+    );
     println!(
         "   shifted ratio: {:.3}",
         fit::feasibility_ratio(&targets, dmin)?
@@ -59,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p.r3 / 1e3,
         p.r4 / 1e3
     );
-    println!("   C_N = {:.2} aF, C_O = {:.2} aF", p.cn * 1e18, p.co * 1e18);
+    println!(
+        "   C_N = {:.2} aF, C_O = {:.2} aF",
+        p.cn * 1e18,
+        p.co * 1e18
+    );
     println!(
         "   worst relative residual: {:.2} % (converged: {})",
         100.0 * outcome.worst_residual(),
@@ -68,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("5) validation sweep (model vs analog):");
-    println!("   {:>8} {:>12} {:>12} {:>12} {:>12}", "Δ [ps]", "δ↓ model", "δ↓ analog", "δ↑ model", "δ↑ analog");
+    println!(
+        "   {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "Δ [ps]", "δ↓ model", "δ↓ analog", "δ↑ model", "δ↑ analog"
+    );
     for &d_ps in &[-60.0, -30.0, -10.0, 0.0, 10.0, 30.0, 60.0] {
         let d = ps(d_ps);
         let fm = delay::falling_delay(&p, d)?;

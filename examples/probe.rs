@@ -4,11 +4,25 @@ fn main() {
     let p = NorParams::paper_table1();
     let (fm, fp) = delay::falling_sis(&p).unwrap();
     let f0 = delay::falling_delay(&p, 0.0).unwrap();
-    println!("fall: -inf {:.2} ps | 0 {:.2} ps | +inf {:.2} ps", to_ps(fm), to_ps(f0), to_ps(fp));
+    println!(
+        "fall: -inf {:.2} ps | 0 {:.2} ps | +inf {:.2} ps",
+        to_ps(fm),
+        to_ps(f0),
+        to_ps(fp)
+    );
     let (rm, rp) = delay::rising_sis(&p).unwrap();
     let r0 = delay::rising_delay(&p, 0.0, RisingInitialVn::Gnd).unwrap();
-    println!("rise: -inf {:.2} ps | 0 {:.2} ps | +inf {:.2} ps", to_ps(rm), to_ps(r0), to_ps(rp));
-    for x in [RisingInitialVn::Gnd, RisingInitialVn::HalfVdd, RisingInitialVn::Vdd] {
+    println!(
+        "rise: -inf {:.2} ps | 0 {:.2} ps | +inf {:.2} ps",
+        to_ps(rm),
+        to_ps(r0),
+        to_ps(rp)
+    );
+    for x in [
+        RisingInitialVn::Gnd,
+        RisingInitialVn::HalfVdd,
+        RisingInitialVn::Vdd,
+    ] {
         let d = delay::rising_delay(&p, ps(-20.0), x).unwrap();
         println!("rise(-20ps, {:?}) = {:.2} ps", x, to_ps(d));
     }

@@ -38,8 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ambiguity in mode (1,1).
     let (rise_m, rise_p) = delay::rising_sis(&params)?;
     println!("Rising output transition (inputs fall):");
-    println!("  δ↑(−∞) = {:.2} ps  (B fell first → N discharged)", to_ps(rise_m));
-    println!("  δ↑(+∞) = {:.2} ps  (A fell first → N precharged)", to_ps(rise_p));
+    println!(
+        "  δ↑(−∞) = {:.2} ps  (B fell first → N discharged)",
+        to_ps(rise_m)
+    );
+    println!(
+        "  δ↑(+∞) = {:.2} ps  (A fell first → N precharged)",
+        to_ps(rise_p)
+    );
     for policy in [
         RisingInitialVn::Gnd,
         RisingInitialVn::HalfVdd,

@@ -7,10 +7,12 @@
 use mis_delay::analog::transient::TransientOptions;
 use mis_delay::analog::NorTech;
 use mis_delay::digital::accuracy::{reference_trace, run_experiment, ExperimentConfig};
-use mis_delay::digital::{gates, HybridNorChannel, InertialChannel, TraceTransform, TwoInputTransform};
+use mis_delay::digital::{
+    gates, HybridNorChannel, InertialChannel, TraceTransform, TwoInputTransform,
+};
+use mis_delay::waveform::deviation_area;
 use mis_delay::waveform::generate::{Assignment, TraceConfig};
 use mis_delay::waveform::units::{ps, to_ps};
-use mis_delay::waveform::deviation_area;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("calibrating the hybrid model to the analog reference...");
@@ -21,8 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
     )?;
 
-    // One concrete trace pair, inspected closely.
-    let tc = TraceConfig::new(ps(150.0), ps(60.0), Assignment::Local, 30);
+    // One concrete trace pair, inspected closely. Keep the generated
+    // edges renderable by the analog reference: consecutive edges on one
+    // signal must be at least one input slew apart.
+    let mut tc = TraceConfig::new(ps(150.0), ps(60.0), Assignment::Local, 30);
+    tc.min_gap = tc.min_gap.max(1.25 * cfg.tech.input_slew);
     let pair = tc.generate(7)?;
     println!(
         "generated '{}' traffic: {} transitions on A, {} on B, horizon {:.1} ns",
@@ -47,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dev_i = deviation_area(&out_inertial, &reference, 0.0, pair.horizon)?;
     let dev_h = deviation_area(&out_hybrid, &reference, 0.0, pair.horizon)?;
     println!();
-    println!("deviation area vs analog reference over {:.1} ns:", pair.horizon * 1e9);
+    println!(
+        "deviation area vs analog reference over {:.1} ns:",
+        pair.horizon * 1e9
+    );
     println!(
         "  inertial: {:.1} ps of disagreement ({} output transitions)",
         to_ps(dev_i),

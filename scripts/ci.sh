@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, runnable with an empty cargo registry cache
+# (the workspace has no external dependencies). See ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+# Optional: CI-scale benchmark smoke (exercises the harness = false bench
+# targets; quick mode prints JSON but deliberately leaves the committed
+# BENCH_*.json baselines untouched — refresh those with a full
+# `cargo bench -p mis-bench`). Enable with CI_BENCH=1.
+if [[ "${CI_BENCH:-0}" != "0" ]]; then
+    echo "== cargo bench -p mis-bench (quick)"
+    TESTKIT_BENCH_QUICK=1 cargo bench -p mis-bench --offline
+fi
+
+echo "tier-1 gate: OK"

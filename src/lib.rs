@@ -36,9 +36,12 @@
 //! # }
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and the per-experiment index,
-//! and `EXPERIMENTS.md` for paper-vs-measured results of every table and
-//! figure.
+//! See `DESIGN.md` for the per-crate system inventory and `EXPERIMENTS.md`
+//! for the per-figure/table experiment index mapping every paper artifact
+//! to its regeneration binary in `crates/bench/src/bin/`. Test and bench
+//! infrastructure (PRNG, property harness, micro-bench harness) lives in
+//! the workspace-internal `mis-testkit` crate, keeping the build free of
+//! external dependencies.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

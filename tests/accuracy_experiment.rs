@@ -63,7 +63,12 @@ fn experiment_is_reproducible() {
         repetitions: 1,
         ..ExperimentConfig::default()
     };
-    let configs = vec![TraceConfig::new(ps(300.0), ps(100.0), Assignment::Local, 20)];
+    let configs = vec![TraceConfig::new(
+        ps(300.0),
+        ps(100.0),
+        Assignment::Local,
+        20,
+    )];
     let r1 = run_experiment(&cfg, &configs).expect("run 1");
     let r2 = run_experiment(&cfg, &configs).expect("run 2");
     assert_eq!(r1[0].models, r2[0].models, "same seed → same scores");

@@ -139,7 +139,9 @@ fn hybrid_beats_inertial_on_an_mis_stress_trace() {
     let b = DigitalTrace::with_edges(false, b_edges).expect("b");
 
     // Ground truth from the stateless delay functions, edge by edge.
-    let truth = ch.apply2(&a, &b).expect("hybrid is the defining model here");
+    let truth = ch
+        .apply2(&a, &b)
+        .expect("hybrid is the defining model here");
     let ideal = gates::nor(&a, &b).expect("ideal");
     let inertial_out = inertial.apply(&ideal).expect("inertial");
     let horizon = t + ps(400.0);
@@ -160,27 +162,15 @@ fn tracked_vn_extension_changes_history_dependent_delays() {
     let ch = HybridNorChannel::new(&base).expect("channel");
 
     // History A: N partially discharged before (1,1) via an A-first pair.
-    let a1 = DigitalTrace::with_edges(
-        false,
-        vec![(ps(200.0), true), (ps(700.0), false)],
-    )
-    .expect("a");
-    let b1 = DigitalTrace::with_edges(
-        false,
-        vec![(ps(212.0), true), (ps(700.0), false)],
-    )
-    .expect("b");
+    let a1 =
+        DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(700.0), false)]).expect("a");
+    let b1 =
+        DigitalTrace::with_edges(false, vec![(ps(212.0), true), (ps(700.0), false)]).expect("b");
     // History B: both rise simultaneously (N frozen at V_DD).
-    let a2 = DigitalTrace::with_edges(
-        false,
-        vec![(ps(200.0), true), (ps(700.0), false)],
-    )
-    .expect("a");
-    let b2 = DigitalTrace::with_edges(
-        false,
-        vec![(ps(200.0), true), (ps(700.0), false)],
-    )
-    .expect("b");
+    let a2 =
+        DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(700.0), false)]).expect("a");
+    let b2 =
+        DigitalTrace::with_edges(false, vec![(ps(200.0), true), (ps(700.0), false)]).expect("b");
 
     let out1 = ch.apply2(&a1, &b1).expect("apply");
     let out2 = ch.apply2(&a2, &b2).expect("apply");
