@@ -10,10 +10,11 @@
 //! Runs on the in-repo `mis-testkit` bench harness (offline replacement
 //! for `criterion`); JSON results land in `BENCH_channel_throughput.json`.
 
+use mis_charlib::{CharConfig, CharLib};
 use mis_core::NorParams;
 use mis_digital::{
-    gates, ExpChannel, HybridNorChannel, InertialChannel, SumExpChannel, TraceTransform,
-    TwoInputTransform,
+    gates, CachedHybridChannel, ExpChannel, HybridNorChannel, InertialChannel, SumExpChannel,
+    TraceTransform, TwoInputTransform,
 };
 use mis_testkit::bench::Harness;
 use mis_waveform::generate::{Assignment, TraceConfig};
@@ -31,6 +32,9 @@ fn main() {
     let exp = ExpChannel::from_sis_delays(ps(50.0), ps(38.0), ps(20.0)).expect("channel");
     let sumexp = SumExpChannel::from_sis_delay(ps(50.0), ps(20.0), 0.7, 4.0).expect("channel");
     let hybrid = HybridNorChannel::new(&NorParams::paper_table1()).expect("channel");
+    let lib =
+        CharLib::nor(&NorParams::paper_table1(), &CharConfig::default()).expect("characterization");
+    let cached = CachedHybridChannel::new(&lib).expect("channel");
 
     h.bench_batched(
         "channel_500_transitions/inertial",
@@ -51,6 +55,11 @@ fn main() {
         "channel_500_transitions/hybrid_nor",
         || (pair.a.clone(), pair.b.clone()),
         |(a, b)| hybrid.apply2(&a, &b).expect("hybrid"),
+    );
+    h.bench_batched(
+        "channel_500_transitions/hybrid_nor_cached",
+        || (pair.a.clone(), pair.b.clone()),
+        |(a, b)| cached.apply2(&a, &b).expect("cached hybrid"),
     );
 
     h.finish();

@@ -70,6 +70,24 @@ fn main() {
     }
 
     {
+        // One-time gate characterization (the cost the cached channel
+        // amortizes): full default config, and a coarse quick variant.
+        let cfg = mis_charlib::CharConfig::default();
+        h.bench("charlib_build/nor_default", || {
+            mis_charlib::CharLib::nor(black_box(&p), &cfg).expect("characterization")
+        });
+        let quick = mis_charlib::CharConfig {
+            initial_points: 9,
+            budget: ps(0.5),
+            vn_fractions: vec![0.0, 0.5, 1.0],
+            ..mis_charlib::CharConfig::default()
+        };
+        h.bench("charlib_build/nor_quick", || {
+            mis_charlib::CharLib::nor(black_box(&p), &quick).expect("characterization")
+        });
+    }
+
+    {
         let tech = NorTech::freepdk15_like();
         let opts = TransientOptions::default();
         let a = DigitalTrace::with_edges(false, vec![(ps(300.0), true)]).expect("trace");

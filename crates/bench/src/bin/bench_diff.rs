@@ -1,0 +1,143 @@
+//! Compares a fresh `BENCH_*.json` against a committed baseline and fails
+//! (exit code 1) when any id present in the baseline regressed by more
+//! than the allowed factor against the baseline median, or disappeared
+//! from the fresh run. New ids in the fresh run are reported but never
+//! fail the check.
+//!
+//! The fresh side of the comparison is the *fastest sample* (`min_ns`),
+//! not the fresh median: CI runs the benches in quick mode on shared
+//! machines, where medians carry scheduling noise that would make a 25 %
+//! gate flaky, while a genuine code regression lifts the floor of the
+//! distribution as reliably as its middle.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff <baseline.json> <fresh.json> [max_regression_factor]
+//! ```
+//!
+//! The factor defaults to 1.25 (a >25 % regression of the fresh floor
+//! over the committed median fails). The parser is schema-specific to
+//! the `mis-testkit` bench JSON — no external JSON dependency needed.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: bench_diff <baseline.json> <fresh.json> [max_regression_factor]");
+        return ExitCode::from(2);
+    }
+    let factor: f64 = match args.get(2) {
+        Some(s) => match s.parse() {
+            Ok(f) if f >= 1.0 => f,
+            _ => {
+                eprintln!("bench_diff: bad max_regression_factor '{}'", args[2]);
+                return ExitCode::from(2);
+            }
+        },
+        None => 1.25,
+    };
+    let (baseline, fresh) = match (read_results(&args[0]), read_results(&args[1])) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    for row in &baseline {
+        match fresh.iter().find(|f| f.id == row.id) {
+            None => {
+                println!(
+                    "MISSING  {}: present in baseline, absent in fresh run",
+                    row.id
+                );
+                failed = true;
+            }
+            Some(f) => {
+                let ratio = f.min_ns / row.median_ns;
+                let verdict = if ratio > factor {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{verdict:<9} {}: baseline median {:.1} ns vs fresh floor {:.1} ns \
+                     ({ratio:.2}x, limit {factor:.2}x)",
+                    row.id, row.median_ns, f.min_ns
+                );
+            }
+        }
+    }
+    for f in &fresh {
+        if !baseline.iter().any(|b| b.id == f.id) {
+            println!(
+                "new       {}: median {:.1} ns (no baseline yet)",
+                f.id, f.median_ns
+            );
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_diff: FAILED ({} baseline ids checked)",
+            baseline.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_diff: OK ({} baseline ids checked)", baseline.len());
+        ExitCode::SUCCESS
+    }
+}
+
+struct Row {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+}
+
+/// Extracts `(id, median_ns, min_ns)` rows from a `mis-testkit` bench
+/// JSON file.
+fn read_results(path: &str) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find("\"id\":\"") {
+        rest = &rest[pos + 6..];
+        let end = rest
+            .find('"')
+            .ok_or_else(|| format!("{path}: unterminated id string"))?;
+        let id = rest[..end].to_owned();
+        let median_ns = field_after(rest, "\"median_ns\":", path, &id)?;
+        let min_ns = field_after(rest, "\"min_ns\":", path, &id)?;
+        out.push(Row {
+            id,
+            median_ns,
+            min_ns,
+        });
+        rest = &rest[end..];
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark results found"));
+    }
+    Ok(out)
+}
+
+/// Parses the float following `key` in `text` (searching forward from the
+/// current result's id).
+fn field_after(text: &str, key: &str, path: &str, id: &str) -> Result<f64, String> {
+    let pos = text
+        .find(key)
+        .ok_or_else(|| format!("{path}: result '{id}' has no {key}"))?;
+    let rest = &text[pos + key.len()..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|_| format!("{path}: bad {key} for '{id}'"))
+}

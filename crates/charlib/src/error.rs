@@ -1,0 +1,104 @@
+use mis_core::ModelError;
+use mis_num::NumError;
+
+/// Errors of the characterization subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharError {
+    /// The exact delay model rejected a query or parameter set.
+    Model(ModelError),
+    /// A numerical routine (interpolation, root finding) failed.
+    Num(NumError),
+    /// A characterization config or surface table violates an invariant.
+    InvalidInput {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Grid refinement hit the point cap before meeting the error budget.
+    BudgetNotMet {
+        /// Worst interpolation error observed at the probe points, seconds.
+        achieved: f64,
+        /// The requested budget, seconds.
+        budget: f64,
+        /// Grid size when refinement gave up.
+        points: usize,
+    },
+    /// The text form of a characterized library could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CharError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CharError::Model(e) => write!(f, "model error: {e}"),
+            CharError::Num(e) => write!(f, "numerics error: {e}"),
+            CharError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            CharError::BudgetNotMet {
+                achieved,
+                budget,
+                points,
+            } => write!(
+                f,
+                "refinement stopped at {points} points with error {achieved:e} s \
+                 (budget {budget:e} s)"
+            ),
+            CharError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CharError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CharError::Model(e) => Some(e),
+            CharError::Num(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CharError {
+    fn from(e: ModelError) -> Self {
+        CharError::Model(e)
+    }
+}
+
+impl From<NumError> for CharError {
+    fn from(e: NumError) -> Self {
+        CharError::Num(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CharError::InvalidInput { reason: "x".into() };
+        assert!(e.to_string().contains("invalid input"));
+        let e = CharError::BudgetNotMet {
+            achieved: 1e-12,
+            budget: 1e-13,
+            points: 257,
+        };
+        assert!(e.to_string().contains("257 points"));
+        let e = CharError::Parse {
+            line: 3,
+            reason: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let m: CharError = ModelError::InvalidParams { reason: "r".into() }.into();
+        assert!(matches!(m, CharError::Model(_)));
+        let n: CharError = NumError::InvalidInput { reason: "n".into() }.into();
+        assert!(matches!(n, CharError::Num(_)));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for `mis-charlib`, on the in-repo `mis-testkit`
+//! harness: interpolated delays must honor the declared error budget for
+//! *arbitrary* in-grid separations (not just the builder's own probe
+//! points), and serialization must be a lossless round trip.
+
+use std::sync::OnceLock;
+
+use mis_charlib::{CharConfig, CharLib};
+use mis_core::nand::NandParams;
+use mis_core::{delay, NorParams, RisingInitialVn};
+use mis_testkit::prelude::*;
+use mis_waveform::units::ps;
+
+fn cfg() -> CharConfig {
+    CharConfig {
+        delta_lo: ps(-150.0),
+        delta_hi: ps(150.0),
+        initial_points: 13,
+        max_points: 513,
+        budget: ps(0.15),
+        vn_fractions: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+    }
+}
+
+fn nor_lib() -> &'static CharLib {
+    static LIB: OnceLock<CharLib> = OnceLock::new();
+    LIB.get_or_init(|| CharLib::nor(&NorParams::paper_table1(), &cfg()).expect("characterization"))
+}
+
+#[test]
+fn falling_surface_within_budget_at_random_separations() {
+    let lib = nor_lib();
+    let p = NorParams::paper_table1();
+    let budget = lib.budget();
+    Config::with_cases(96).run(&(-150.0..150.0f64), |&d_ps| {
+        let d = ps(d_ps);
+        let exact = delay::falling_delay(&p, d).expect("exact delay");
+        let got = lib.falling_delay(d, 0.0);
+        prop_assert!(
+            (got - exact).abs() <= budget,
+            "Δ = {} ps: |{:e} − {:e}| > {:e}",
+            d_ps,
+            got,
+            exact,
+            budget
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn rising_slices_within_budget_at_random_separations() {
+    let lib = nor_lib();
+    let p = NorParams::paper_table1();
+    let budget = lib.budget();
+    // Random Δ on each characterized V_N slice: the per-slice guarantee
+    // of the refinement loop, checked off the builder's probe points.
+    Config::with_cases(64).run(&(-150.0..150.0f64, 0..5u32), |&(d_ps, xi)| {
+        let d = ps(d_ps);
+        let x = [0.0, 0.25, 0.5, 0.75, 1.0][xi as usize] * p.vdd;
+        let exact = delay::rising_delay(&p, d, RisingInitialVn::Explicit(x)).expect("exact");
+        let got = lib.rising_delay(d, x);
+        prop_assert!(
+            (got - exact).abs() <= budget,
+            "Δ = {} ps, X = {} V: |{:e} − {:e}| > {:e}",
+            d_ps,
+            x,
+            got,
+            exact,
+            budget
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn rising_family_between_slices_stays_close() {
+    // Between characterized V_N slices the family interpolates linearly;
+    // the combined (grid + slice) error must stay within a small multiple
+    // of the budget — the slice spacing, not the Δ grid, dominates here.
+    let lib = nor_lib();
+    let p = NorParams::paper_table1();
+    let tol = 4.0 * lib.budget();
+    Config::with_cases(48).run(&(-150.0..150.0f64, 0.0..1.0f64), |&(d_ps, xf)| {
+        let d = ps(d_ps);
+        let x = xf * p.vdd;
+        let exact = delay::rising_delay(&p, d, RisingInitialVn::Explicit(x)).expect("exact");
+        let got = lib.rising_delay(d, x);
+        prop_assert!(
+            (got - exact).abs() <= tol,
+            "Δ = {} ps, X = {} V: |{:e} − {:e}| > {:e}",
+            d_ps,
+            x,
+            got,
+            exact,
+            tol
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn serializer_round_trip_preserves_surfaces_bit_for_bit() {
+    let lib = nor_lib();
+    let text = lib.to_text();
+    let loaded = CharLib::from_text(&text).expect("parse");
+    assert_eq!(*lib, loaded, "build → save → load must be the identity");
+    assert_eq!(text, loaded.to_text(), "re-serialization must be stable");
+    // Bitwise sample identity, slice by slice.
+    for (a, b) in lib.rising().slices().iter().zip(loaded.rising().slices()) {
+        for (x, y) in a.deltas().iter().zip(b.deltas()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.delays().iter().zip(b.delays()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    // And the loaded library evaluates identically at random points.
+    Config::with_cases(64).run(&(-200.0..200.0f64, 0.0..0.8f64), |&(d_ps, x)| {
+        let d = ps(d_ps);
+        prop_assert!(lib.falling_delay(d, x) == loaded.falling_delay(d, x));
+        prop_assert!(lib.rising_delay(d, x) == loaded.rising_delay(d, x));
+        Ok(())
+    });
+}
+
+#[test]
+fn nand_duality_round_trip() {
+    // A NAND library characterizes the dual curves; serialization must
+    // round-trip it just like the NOR one.
+    let nand = NandParams::from_dual(NorParams::paper_table1());
+    let quick = CharConfig {
+        delta_lo: ps(-80.0),
+        delta_hi: ps(80.0),
+        initial_points: 9,
+        max_points: 257,
+        budget: ps(0.3),
+        vn_fractions: vec![0.0, 0.5, 1.0],
+    };
+    let lib = CharLib::nand(&nand, &quick).expect("nand characterization");
+    let loaded = CharLib::from_text(&lib.to_text()).expect("parse");
+    assert_eq!(lib, loaded);
+    // Spot-check duality through the table: rising NAND == falling NOR.
+    let exact = delay::falling_delay(&NorParams::paper_table1(), ps(7.0)).unwrap();
+    assert!((lib.rising_delay(ps(7.0), 0.0) - exact).abs() <= quick.budget);
+}

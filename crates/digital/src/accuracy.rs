@@ -20,12 +20,13 @@
 use mis_analog::measure;
 use mis_analog::transient::TransientOptions;
 use mis_analog::NorTech;
+use mis_charlib::CharLib;
 use mis_core::NorParams;
 use mis_waveform::generate::TraceConfig;
 use mis_waveform::{deviation_area, DigitalTrace};
 
 use crate::channels::{TraceTransform, TwoInputTransform};
-use crate::{gates, ExpChannel, HybridNorChannel, InertialChannel, SimError};
+use crate::{gates, CachedHybridChannel, ExpChannel, HybridNorChannel, InertialChannel, SimError};
 
 /// Configuration of the accuracy experiment.
 #[derive(Debug, Clone)]
@@ -45,6 +46,12 @@ pub struct ExperimentConfig {
     /// Base RNG seed; repetition `k` of configuration `i` uses
     /// `base_seed + 1000·i + k`.
     pub base_seed: u64,
+    /// Optional characterized library: when set, a fifth model ("HM
+    /// cached") — the [`CachedHybridChannel`] fast path — is scored
+    /// alongside the paper's four. Characterize it from the same
+    /// parameter set as [`ExperimentConfig::hybrid`] for an
+    /// apples-to-apples comparison.
+    pub cached: Option<CharLib>,
 }
 
 impl Default for ExperimentConfig {
@@ -56,6 +63,7 @@ impl Default for ExperimentConfig {
             exp_pure_delay: 20e-12,
             repetitions: 20,
             base_seed: 0x5eed,
+            cached: None,
         }
     }
 }
@@ -104,7 +112,16 @@ impl ExperimentConfig {
             exp_pure_delay: 20e-12,
             repetitions,
             base_seed: 0x5eed,
+            cached: None,
         })
+    }
+
+    /// Adds a characterized library so the experiment also scores the
+    /// cached fast-path channel (see [`ExperimentConfig::cached`]).
+    #[must_use]
+    pub fn with_cached_library(mut self, lib: CharLib) -> Self {
+        self.cached = Some(lib);
+        self
     }
 }
 
@@ -155,6 +172,22 @@ pub fn run_experiment(
     let exp = ExpChannel::from_sis_delays(sis_rise, sis_fall, cfg.exp_pure_delay)?;
     let hybrid_with = HybridNorChannel::new(&cfg.hybrid)?;
     let hybrid_without = HybridNorChannel::new(&cfg.hybrid.without_pure_delay())?;
+    let cached = cfg
+        .cached
+        .as_ref()
+        .map(CachedHybridChannel::new)
+        .transpose()?;
+
+    let mut names = vec![
+        "inertial delay",
+        "Exp-Channel",
+        "HM without dmin",
+        "HM with dmin",
+    ];
+    if cached.is_some() {
+        names.push("HM cached");
+    }
+    let n_models = names.len();
 
     let mut out = Vec::with_capacity(trace_configs.len());
     for (ci, tc) in trace_configs.iter().enumerate() {
@@ -163,8 +196,8 @@ pub fn run_experiment(
         let mut tc = tc.clone();
         tc.min_gap = tc.min_gap.max(1.25 * cfg.tech.input_slew);
 
-        let mut raw = [0.0_f64; 4];
-        let mut norm = [0.0_f64; 4];
+        let mut raw = vec![0.0_f64; n_models];
+        let mut norm = vec![0.0_f64; n_models];
         for rep in 0..cfg.repetitions.max(1) {
             let seed = cfg.base_seed + 1000 * ci as u64 + rep as u64;
             let pair = tc.generate(seed)?;
@@ -172,32 +205,29 @@ pub fn run_experiment(
             let reference = reference_trace(cfg, &pair.a, &pair.b, t_end)?;
             let ideal = gates::nor(&pair.a, &pair.b)?;
 
-            let outputs = [
+            let mut outputs = vec![
                 inertial.apply(&ideal)?,
                 exp.apply(&ideal)?,
                 hybrid_without.apply2(&pair.a, &pair.b)?,
                 hybrid_with.apply2(&pair.a, &pair.b)?,
             ];
-            let mut devs = [0.0_f64; 4];
+            if let Some(ch) = &cached {
+                outputs.push(ch.apply2(&pair.a, &pair.b)?);
+            }
+            let mut devs = vec![0.0_f64; n_models];
             for (slot, trace) in outputs.iter().enumerate() {
                 devs[slot] = deviation_area(trace, &reference, 0.0, t_end)?;
             }
             let baseline = devs[0].max(1e-30);
-            for slot in 0..4 {
+            for slot in 0..n_models {
                 raw[slot] += devs[slot];
                 norm[slot] += devs[slot] / baseline;
             }
         }
         let n = cfg.repetitions.max(1) as f64;
-        let names = [
-            "inertial delay",
-            "Exp-Channel",
-            "HM without dmin",
-            "HM with dmin",
-        ];
         out.push(ConfigScores {
             label: tc.label(),
-            models: (0..4)
+            models: (0..n_models)
                 .map(|slot| ModelScore {
                     name: names[slot].to_owned(),
                     raw_mean: raw[slot] / n,
@@ -288,6 +318,47 @@ mod tests {
             hm_with.normalized_mean < 0.9,
             "HM with δ_min should clearly beat inertial: {}",
             hm_with.normalized_mean
+        );
+    }
+
+    #[test]
+    fn cached_model_scored_when_library_present() {
+        use mis_charlib::{CharConfig, CharLib};
+
+        let lib = CharLib::nor(&NorParams::paper_table1(), &CharConfig::default())
+            .expect("characterization");
+        let budget = lib.budget();
+        let cfg = tiny_config().with_cached_library(lib);
+        let tcs = vec![TraceConfig::new(
+            ps(300.0),
+            ps(100.0),
+            Assignment::Local,
+            24,
+        )];
+        let scores = run_experiment(&cfg, &tcs).unwrap();
+        let s = &scores[0];
+        assert_eq!(s.models.len(), 5, "cached model appended");
+        assert_eq!(s.models[4].name, "HM cached");
+        // The cached fast path must track the exact hybrid channel: its
+        // deviation area may differ by at most the per-edge interpolation
+        // budget summed over the trace's transitions (24 input events
+        // bound the output edge count), plus the partial-swing residual
+        // on overlapping transitions.
+        let hm_with = &s.models[3];
+        let cached = &s.models[4];
+        let tol = 24.0 * budget;
+        println!(
+            "dev areas: exact {:e}, cached {:e}, |diff| {:e}, tol {:e}",
+            hm_with.raw_mean,
+            cached.raw_mean,
+            (cached.raw_mean - hm_with.raw_mean).abs(),
+            tol
+        );
+        assert!(
+            (cached.raw_mean - hm_with.raw_mean).abs() <= tol,
+            "cached dev area {:e} vs exact {:e} (tol {tol:e})",
+            cached.raw_mean,
+            hm_with.raw_mean
         );
     }
 

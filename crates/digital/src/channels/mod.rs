@@ -1,5 +1,6 @@
 //! Delay channel implementations.
 
+pub mod cached;
 pub mod exp;
 pub mod hybrid;
 pub mod inertial;

@@ -19,6 +19,10 @@
 //! * [`HybridNorChannel`] — the paper's contribution as a *two-input*
 //!   channel: wraps the continuous-state [`mis_core::channel::NorGateModel`]
 //!   and defers input events by the pure delay `δ_min`.
+//! * [`CachedHybridChannel`] — the characterized fast path of the hybrid
+//!   model: schedules transitions from `mis-charlib` delay surfaces
+//!   (one table lookup per event) instead of re-solving the delay
+//!   equation, at near-inertial cost.
 //!
 //! [`Network`] composes zero-time Boolean gates with channels into
 //! feed-forward circuits; [`accuracy`] implements the paper's Fig. 7
@@ -59,6 +63,7 @@ pub mod gates;
 pub mod involution;
 mod network;
 
+pub use channels::cached::{CachedHybridChannel, CachedHybridNandChannel};
 pub use channels::exp::ExpChannel;
 pub use channels::hybrid::HybridNorChannel;
 pub use channels::inertial::InertialChannel;

@@ -318,6 +318,36 @@ mod tests {
     }
 
     #[test]
+    fn cached_hybrid_gate_embeds_in_network() {
+        use crate::CachedHybridChannel;
+        use mis_charlib::{CharConfig, CharLib};
+
+        // The cached fast path is a drop-in TwoInputTransform: the same
+        // netlist slot as the exact hybrid gate, same output edges (up to
+        // the characterization budget).
+        let lib = CharLib::nor(&NorParams::paper_table1(), &CharConfig::default())
+            .expect("characterization");
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let exact = Box::new(HybridNorChannel::new(&NorParams::paper_table1()).unwrap());
+        let cached = Box::new(CachedHybridChannel::new(&lib).unwrap());
+        let y_exact = net
+            .add_two_input_channel_gate("y_exact", [a, b], exact)
+            .unwrap();
+        let y_cached = net
+            .add_two_input_channel_gate("y_cached", [a, b], cached)
+            .unwrap();
+        let ta = DigitalTrace::with_edges(false, vec![(ps(100.0), true)]).unwrap();
+        let tb = DigitalTrace::with_edges(false, vec![(ps(110.0), true)]).unwrap();
+        let traces = net.run(&[ta, tb]).unwrap();
+        assert_eq!(traces[y_exact.0].transition_count(), 1);
+        assert_eq!(traces[y_cached.0].transition_count(), 1);
+        let d = traces[y_exact.0].edges()[0].time - traces[y_cached.0].edges()[0].time;
+        assert!(d.abs() <= lib.budget(), "cached gate within budget: {d:e}");
+    }
+
+    #[test]
     fn arity_and_reference_validation() {
         let mut net = Network::new();
         let a = net.add_input("a");

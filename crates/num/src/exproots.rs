@@ -10,7 +10,7 @@
 //! monotone piece analytically and refines with Brent — crossings are never
 //! missed by sampling artifacts.
 
-use crate::{roots, NumError};
+use crate::NumError;
 
 /// Absolute tolerance for root refinement, as a fraction of `t_max`.
 const REL_XTOL: f64 = 1e-15;
@@ -63,8 +63,10 @@ pub fn exp2_crossings(
     }
 
     // Normalize: fold constant terms (λ = 0) into the offset, merge equal
-    // exponents, and drop zero coefficients.
-    let mut amp = Vec::<(f64, f64)>::new(); // (coefficient, exponent)
+    // exponents, and drop zero coefficients. At most two terms survive, so
+    // a fixed-size buffer keeps this hot path allocation-free.
+    let mut amp = [(0.0_f64, 0.0_f64); 2]; // (coefficient, exponent)
+    let mut n_amp = 0_usize;
     let mut offset = -c;
     for (coef, lam) in [(a, l1), (b, l2)] {
         if coef == 0.0 {
@@ -72,13 +74,21 @@ pub fn exp2_crossings(
         }
         if lam == 0.0 {
             offset += coef;
-        } else if let Some(slot) = amp.iter_mut().find(|(_, l)| *l == lam) {
+        } else if let Some(slot) = amp[..n_amp].iter_mut().find(|(_, l)| *l == lam) {
             slot.0 += coef;
         } else {
-            amp.push((coef, lam));
+            amp[n_amp] = (coef, lam);
+            n_amp += 1;
         }
     }
-    amp.retain(|&(coef, _)| coef != 0.0);
+    if n_amp == 2 && amp[1].0 == 0.0 {
+        n_amp = 1;
+    }
+    if n_amp >= 1 && amp[0].0 == 0.0 {
+        amp[0] = amp[1];
+        n_amp -= 1;
+    }
+    let amp = &amp[..n_amp];
 
     match amp.len() {
         0 => {
@@ -103,10 +113,23 @@ pub fn exp2_crossings(
         _ => {
             let f = |t: f64| -> f64 {
                 let mut v = offset;
-                for &(coef, lam) in &amp {
+                for &(coef, lam) in amp {
                     v += coef * (lam * t).exp();
                 }
                 v
+            };
+            // Value and derivative from the same exponentials — one pair
+            // of `exp` calls serves both, which is what makes the Newton
+            // refinement cheaper than derivative-free bisection hybrids.
+            let f_df = |t: f64| -> (f64, f64) {
+                let mut v = offset;
+                let mut dv = 0.0;
+                for &(coef, lam) in amp {
+                    let e = coef * (lam * t).exp();
+                    v += e;
+                    dv += lam * e;
+                }
+                (v, dv)
             };
             // Two distinct exponentials: derivative vanishes at most once, at
             // t* = ln(−(b·λ₂)/(a·λ₁)) / (λ₁ − λ₂).
@@ -119,17 +142,24 @@ pub fn exp2_crossings(
             } else {
                 None
             };
-            let mut pieces: Vec<(f64, f64)> = Vec::with_capacity(2);
-            match t_star {
-                Some(ts) => {
-                    pieces.push((0.0, ts));
-                    pieces.push((ts, t_max));
-                }
-                None => pieces.push((0.0, t_max)),
-            }
+            let pieces: [(f64, f64); 2] = match t_star {
+                Some(ts) => [(0.0, ts), (ts, t_max)],
+                None => [(0.0, t_max), (t_max, t_max)], // second piece is empty
+            };
             let xtol = REL_XTOL * t_max;
+            // Characteristic scale for the bracket scan: a fraction of the
+            // fastest time constant. Roots live at O(1/|λ|) distances, so
+            // scanning geometrically from this scale finds a bracket that
+            // is orders of magnitude tighter than the full piece (whose
+            // width is the crossing-search horizon, ~60 slow τ). This is
+            // what makes rising delays (root-found in the coupled (0,0)
+            // mode) as cheap as falling ones (closed-form in (1,1)).
+            let scan_step = 0.5 / la.abs().max(lb.abs());
             let mut out = Vec::new();
             for (lo, hi) in pieces {
+                if !(hi > lo) {
+                    continue;
+                }
                 let flo = f(lo);
                 let fhi = f(hi);
                 if flo == 0.0 {
@@ -141,7 +171,7 @@ pub fn exp2_crossings(
                     continue;
                 }
                 if flo.signum() != fhi.signum() {
-                    let r = roots::brent(&f, lo, hi, xtol)?;
+                    let r = monotone_root(&f, &f_df, lo, hi, flo, fhi, scan_step, xtol)?;
                     push_unique(&mut out, r, xtol);
                 }
             }
@@ -149,6 +179,99 @@ pub fn exp2_crossings(
             Ok(out)
         }
     }
+}
+
+/// Finds the single root of a *monotone* `f` on `[lo, hi]` (the caller
+/// guarantees a sign change): geometrically expands a bracket of initial
+/// width `scan_step` from `lo`, then refines with bracket-safeguarded
+/// Newton on the tightened bracket (quadratic convergence; bisection
+/// fallback keeps every iterate inside the sign-change bracket).
+#[allow(clippy::too_many_arguments)]
+fn monotone_root(
+    f: impl Fn(f64) -> f64,
+    f_df: impl Fn(f64) -> (f64, f64),
+    lo: f64,
+    hi: f64,
+    flo: f64,
+    fhi: f64,
+    scan_step: f64,
+    xtol: f64,
+) -> Result<f64, NumError> {
+    let mut width = scan_step;
+    if !(width > 0.0) || !width.is_finite() || width >= hi - lo {
+        return newton_bracketed(&f_df, lo, hi, flo, fhi, xtol);
+    }
+    let mut a = lo;
+    let fa = flo;
+    loop {
+        let b = (a + width).min(hi);
+        if b >= hi {
+            // The sign change sits in the remaining tail.
+            return newton_bracketed(&f_df, a, hi, fa, fhi, xtol);
+        }
+        let fb = f(b);
+        if !fb.is_finite() {
+            return Err(NumError::NonFiniteValue { at: b });
+        }
+        if fb == 0.0 {
+            return Ok(b);
+        }
+        if fb.signum() != fa.signum() {
+            return newton_bracketed(&f_df, a, b, fa, fb, xtol);
+        }
+        a = b;
+        width *= 2.0;
+    }
+}
+
+/// Newton's method confined to a sign-change bracket `[a, b]`: iterates
+/// that leave the bracket (or a vanishing derivative) fall back to
+/// bisection, so worst-case behaviour is plain bisection while smooth
+/// two-exponential crossings converge quadratically.
+fn newton_bracketed(
+    f_df: impl Fn(f64) -> (f64, f64),
+    mut a: f64,
+    mut b: f64,
+    mut fa: f64,
+    fb: f64,
+    xtol: f64,
+) -> Result<f64, NumError> {
+    debug_assert!(fa.signum() != fb.signum());
+    let _ = fb;
+    let mut x = 0.5 * (a + b);
+    for _ in 0..200 {
+        let (fx, dfx) = f_df(x);
+        if !fx.is_finite() {
+            return Err(NumError::NonFiniteValue { at: x });
+        }
+        if fx == 0.0 {
+            return Ok(x);
+        }
+        if fx.signum() == fa.signum() {
+            a = x;
+            fa = fx;
+        } else {
+            b = x;
+        }
+        let tol = xtol.max(4.0 * f64::EPSILON * a.abs().max(b.abs()));
+        if b - a < tol {
+            return Ok(0.5 * (a + b));
+        }
+        let step = fx / dfx;
+        let candidate = x - step;
+        x = if candidate.is_finite() && candidate > a && candidate < b {
+            if step.abs() < tol {
+                return Ok(candidate);
+            }
+            candidate
+        } else {
+            0.5 * (a + b)
+        };
+    }
+    Err(NumError::NoConvergence {
+        iterations: 200,
+        residual: f_df(x).0.abs(),
+    })
 }
 
 fn push_unique(out: &mut Vec<f64>, r: f64, xtol: f64) {
@@ -237,6 +360,73 @@ mod tests {
         assert!(exp2_crossings(1.0, -1.0, 0.0, 0.0, 0.5, 0.0).is_err());
         assert!(exp2_crossings(f64::NAN, -1.0, 0.0, 0.0, 0.5, 1.0).is_err());
         assert!(exp2_crossings(1.0, -1.0, 0.0, 0.0, 0.5, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn near_equal_exponent_rates_stay_accurate() {
+        // λ₂ = λ₁(1 + ε): the stationary-point formula divides by λ₁ − λ₂,
+        // which must not destabilize the result. Reference: for nearly
+        // equal rates the sum is ≈ (a+b)·e^{λt}.
+        for &eps in &[1e-6, 1e-9, 1e-12] {
+            let l1 = -2.0;
+            let l2 = l1 * (1.0 + eps);
+            let r = exp2_crossings(0.4, l1, 0.6, l2, 0.5, 10.0).unwrap();
+            assert_eq!(r.len(), 1, "eps = {eps:e}: {r:?}");
+            let expected = (0.5f64).ln() / -2.0; // ln 2 / 2
+            assert!(
+                (r[0] - expected).abs() < 1e-6,
+                "eps = {eps:e}: {} vs {expected}",
+                r[0]
+            );
+        }
+    }
+
+    #[test]
+    fn crossing_arbitrarily_close_to_zero() {
+        // Root at t₀ = 10⁻¹⁸ of a 1 ns window: the tightened bracket scan
+        // must localize it without degrading accuracy.
+        for &t0 in &[1e-12_f64, 1e-15, 1e-18] {
+            let tau = 25e-12_f64;
+            let level = 0.8 * (-t0 / tau).exp();
+            // Two-exponential form so the Brent path is exercised.
+            let r = exp2_crossings(0.4, -1.0 / tau, 0.4, -1.0 / tau * (1.0 + 1e-3), level, 1e-9)
+                .unwrap();
+            assert_eq!(r.len(), 1, "t0 = {t0:e}: {r:?}");
+            assert!(
+                (r[0] - t0).abs() < 1e-3 * t0 + 1e-21,
+                "t0 = {t0:e}: got {:e}",
+                r[0]
+            );
+        }
+    }
+
+    #[test]
+    fn no_crossing_two_exponential_is_clean_and_fast() {
+        // A genuinely out-of-reach level with two distinct exponents: the
+        // solver must report "no roots" without ever invoking the
+        // iterative refinement (there is no sign change to hand to Brent),
+        // i.e. a clean Ok(empty) — never a NoConvergence error.
+        let r = exp2_crossings(0.3, -2.0e10, 0.5, -0.7e10, 2.0, 1e-8).unwrap();
+        assert!(r.is_empty());
+        // Same on the negative side.
+        let r = exp2_crossings(0.3, -2.0e10, 0.5, -0.7e10, -1.0, 1e-8).unwrap();
+        assert!(r.is_empty());
+        // A non-monotone dip that never reaches the level: two monotone
+        // pieces, neither with a sign change.
+        // (the dip's minimum is ≈ −2.02, safely above −2.1)
+        let r = exp2_crossings(5.0, -5.0, -4.0, -1.0, -2.1, 20.0).unwrap();
+        assert!(r.is_empty(), "dip bottoms out above −2.1: {r:?}");
+    }
+
+    #[test]
+    fn overflowing_positive_exponent_reports_clean_error() {
+        // A positive exponent with a huge horizon overflows e^{λt}; the
+        // contract is a descriptive error, not a hang or a panic.
+        let res = exp2_crossings(1.0, 2000.0, 1.0, -1.0, -5.0, 1.0);
+        match res {
+            Err(NumError::NonFiniteValue { .. }) | Ok(_) => {}
+            Err(e) => panic!("expected NonFiniteValue or roots, got {e:?}"),
+        }
     }
 
     #[test]

@@ -1,4 +1,12 @@
-//! Piecewise-linear interpolation over sorted sample tables.
+//! Piecewise-linear and monotone-cubic interpolation over sorted sample
+//! tables.
+//!
+//! [`lerp_table`] is the workhorse for sampled voltage waveforms. The
+//! monotone cubic ([`pchip_slopes`] / [`pchip_eval`] / [`MonotoneCubic`])
+//! exists for *characterized delay surfaces*: a `δ(Δ)` table has a sharp
+//! minimum near `Δ = 0`, and a shape-preserving interpolant is what
+//! guarantees the reconstructed surface never undershoots the physical
+//! minimum delay between samples — a plain cubic spline would.
 
 use crate::NumError;
 
@@ -72,6 +80,179 @@ pub fn validate_table(xs: &[f64], ys: &[f64]) -> Result<(), NumError> {
         });
     }
     Ok(())
+}
+
+/// Computes the Fritsch–Carlson (PCHIP) tangent slopes for a monotone
+/// cubic Hermite interpolant of `(xs, ys)` on a (possibly non-uniform)
+/// strictly increasing grid.
+///
+/// The returned slopes guarantee that [`pchip_eval`] is *shape
+/// preserving*: on every interval where the data are monotone, the
+/// interpolant is monotone too, so it never overshoots or undershoots the
+/// samples. Local extrema of the data become flat tangents.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] under the same conditions as
+/// [`validate_table`], or when fewer than two samples are given, or when a
+/// `ys` value is not finite.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mis_num::NumError> {
+/// use mis_num::interp::{pchip_eval, pchip_slopes};
+/// // A V-shaped table: the interpolant must not dip below the minimum.
+/// let xs = [-2.0, -1.0, 0.0, 1.0, 3.0];
+/// let ys = [4.0, 2.0, 1.0, 2.0, 4.0];
+/// let m = pchip_slopes(&xs, &ys)?;
+/// for i in 0..=60 {
+///     let x = -2.0 + 5.0 * i as f64 / 60.0;
+///     assert!(pchip_eval(&xs, &ys, &m, x) >= 1.0 - 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn pchip_slopes(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>, NumError> {
+    validate_table(xs, ys)?;
+    let n = xs.len();
+    if n < 2 {
+        return Err(NumError::InvalidInput {
+            reason: "pchip needs at least two samples".into(),
+        });
+    }
+    if ys.iter().any(|y| !y.is_finite()) {
+        return Err(NumError::InvalidInput {
+            reason: "non-finite ordinate in pchip table".into(),
+        });
+    }
+    // Interval widths and secant slopes.
+    let h: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+    let d: Vec<f64> = ys
+        .windows(2)
+        .zip(&h)
+        .map(|(w, &hi)| (w[1] - w[0]) / hi)
+        .collect();
+    let mut m = vec![0.0; n];
+    if n == 2 {
+        m[0] = d[0];
+        m[1] = d[0];
+        return Ok(m);
+    }
+    // Interior tangents: zero at local extrema of the data, otherwise the
+    // weighted harmonic mean of the adjacent secants (Fritsch–Carlson),
+    // which is what enforces monotonicity on non-uniform grids.
+    for i in 1..n - 1 {
+        if d[i - 1] == 0.0 || d[i] == 0.0 || (d[i - 1] > 0.0) != (d[i] > 0.0) {
+            m[i] = 0.0;
+        } else {
+            let w1 = 2.0 * h[i] + h[i - 1];
+            let w2 = h[i] + 2.0 * h[i - 1];
+            m[i] = (w1 + w2) / (w1 / d[i - 1] + w2 / d[i]);
+        }
+    }
+    // One-sided endpoint tangents (three-point formula), clamped so the
+    // boundary interval stays monotone.
+    m[0] = endpoint_slope(h[0], h[1], d[0], d[1]);
+    m[n - 1] = endpoint_slope(h[n - 2], h[n - 3], d[n - 2], d[n - 3]);
+    Ok(m)
+}
+
+/// Non-centered three-point endpoint tangent with the standard PCHIP
+/// monotonicity clamps (`h0`/`d0` belong to the boundary interval).
+fn endpoint_slope(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
+    let mut m = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if m * d0 <= 0.0 {
+        m = 0.0;
+    } else if d0 * d1 < 0.0 && m.abs() > 3.0 * d0.abs() {
+        m = 3.0 * d0;
+    }
+    m
+}
+
+/// Evaluates the monotone cubic Hermite interpolant defined by
+/// [`pchip_slopes`] at `x`, with constant (clamped) extrapolation outside
+/// the grid — the correct semantics for delay surfaces that have saturated
+/// to their single-input-switching limits beyond the characterized range.
+///
+/// The caller must pass the `slopes` computed from the *same* `(xs, ys)`;
+/// tables are assumed pre-validated (this is a hot-loop entry point).
+#[must_use]
+pub fn pchip_eval(xs: &[f64], ys: &[f64], slopes: &[f64], x: f64) -> f64 {
+    if x <= xs[0] {
+        return ys[0];
+    }
+    let last = xs.len() - 1;
+    if x >= xs[last] {
+        return ys[last];
+    }
+    let hi = xs.partition_point(|&v| v <= x);
+    let lo = hi - 1;
+    let h = xs[hi] - xs[lo];
+    let t = (x - xs[lo]) / h;
+    // Cubic Hermite basis.
+    let t2 = t * t;
+    let t3 = t2 * t;
+    let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+    let h10 = t3 - 2.0 * t2 + t;
+    let h01 = -2.0 * t3 + 3.0 * t2;
+    let h11 = t3 - t2;
+    h00 * ys[lo] + h10 * h * slopes[lo] + h01 * ys[hi] + h11 * h * slopes[hi]
+}
+
+/// A prepared monotone cubic interpolant: owns its table and precomputed
+/// PCHIP tangents, for repeated evaluation on a hot path.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mis_num::NumError> {
+/// let c = mis_num::interp::MonotoneCubic::new(
+///     vec![0.0, 1.0, 4.0],
+///     vec![0.0, 1.0, 2.0],
+/// )?;
+/// assert_eq!(c.eval(0.0), 0.0);
+/// assert_eq!(c.eval(-3.0), 0.0); // clamped
+/// assert_eq!(c.eval(9.0), 2.0);  // clamped
+/// assert!(c.eval(2.0) > 1.0 && c.eval(2.0) < 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonotoneCubic {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    slopes: Vec<f64>,
+}
+
+impl MonotoneCubic {
+    /// Builds the interpolant, computing the tangents once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`pchip_slopes`] failures.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, NumError> {
+        let slopes = pchip_slopes(&xs, &ys)?;
+        Ok(MonotoneCubic { xs, ys, slopes })
+    }
+
+    /// Evaluates at `x` (clamped constant extrapolation outside the grid).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        pchip_eval(&self.xs, &self.ys, &self.slopes, x)
+    }
+
+    /// The abscissae.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The ordinates.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
 }
 
 /// Finds all crossings of level `level` in the sampled curve `(xs, ys)`,
@@ -164,5 +345,69 @@ mod tests {
         let xs = [0.0, 1.0, 2.0];
         let ys = [0.5, 0.5, 0.5];
         assert!(level_crossings(&xs, &ys, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pchip_interpolates_samples_exactly() {
+        let xs = [-1.0, 0.0, 0.5, 2.0, 7.0];
+        let ys = [3.0, 1.0, 0.5, 2.5, 2.6];
+        let m = pchip_slopes(&xs, &ys).unwrap();
+        for i in 0..xs.len() {
+            assert!((pchip_eval(&xs, &ys, &m, xs[i]) - ys[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn pchip_is_monotone_between_monotone_samples() {
+        // Strictly increasing non-uniform data: the interpolant must be
+        // non-decreasing everywhere.
+        let xs = [0.0, 0.1, 0.5, 2.0, 2.2, 9.0];
+        let ys = [0.0, 0.05, 1.0, 1.1, 3.0, 3.5];
+        let c = MonotoneCubic::new(xs.to_vec(), ys.to_vec()).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=900 {
+            let x = 9.0 * i as f64 / 900.0;
+            let y = c.eval(x);
+            assert!(y >= prev - 1e-12, "non-monotone at x = {x}: {y} < {prev}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn pchip_never_undershoots_a_vee_minimum() {
+        // Delay-surface shape: sharp minimum at x = 0. A shape-preserving
+        // interpolant stays at or above the sample minimum.
+        let xs = [-4.0, -1.0, -0.2, 0.0, 0.3, 1.5, 4.0];
+        let ys = [5.0, 3.0, 2.2, 2.0, 2.3, 3.4, 5.0];
+        let c = MonotoneCubic::new(xs.to_vec(), ys.to_vec()).unwrap();
+        for i in 0..=800 {
+            let x = -4.0 + 8.0 * i as f64 / 800.0;
+            assert!(c.eval(x) >= 2.0 - 1e-12, "undershoot at {x}: {}", c.eval(x));
+        }
+    }
+
+    #[test]
+    fn pchip_two_point_table_is_linear() {
+        let xs = [1.0, 3.0];
+        let ys = [10.0, 20.0];
+        let m = pchip_slopes(&xs, &ys).unwrap();
+        assert!((pchip_eval(&xs, &ys, &m, 2.0) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pchip_clamps_outside_grid() {
+        let c = MonotoneCubic::new(vec![0.0, 1.0, 2.0], vec![5.0, 6.0, 7.0]).unwrap();
+        assert_eq!(c.eval(-10.0), 5.0);
+        assert_eq!(c.eval(10.0), 7.0);
+        assert_eq!(c.xs().len(), 3);
+        assert_eq!(c.ys().len(), 3);
+    }
+
+    #[test]
+    fn pchip_rejects_bad_tables() {
+        assert!(pchip_slopes(&[0.0], &[1.0]).is_err());
+        assert!(pchip_slopes(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+        assert!(pchip_slopes(&[0.0, 1.0], &[1.0, f64::NAN]).is_err());
+        assert!(MonotoneCubic::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
     }
 }

@@ -314,29 +314,37 @@ impl Harness {
     ///
     /// The file lands in `TESTKIT_BENCH_DIR` when set, else the workspace
     /// root (two levels above the bench crate's `CARGO_MANIFEST_DIR`),
-    /// else the current directory. Filtered and quick runs skip the file
-    /// so a partial or low-resolution result set never clobbers the full
-    /// longitudinal baseline.
+    /// else the current directory. Filtered runs never write a file (a
+    /// partial id set would shadow the full result set wherever it
+    /// lands). Quick runs skip the file too, so a low-resolution result
+    /// set never clobbers the full longitudinal baseline — **unless**
+    /// `TESTKIT_BENCH_DIR` is set explicitly: an explicit directory is a
+    /// scratch target (CI regression checks diff quick-mode output there
+    /// against the committed baseline), not the baseline itself.
     pub fn finish(self) -> Vec<BenchResult> {
         let json = self.to_json();
         println!("{json}");
+        let explicit_dir = std::env::var("TESTKIT_BENCH_DIR").ok();
+        // A filtered run is always partial: writing it anywhere would
+        // shadow ids of the full result set, so it never produces a file.
         if let Some(f) = &self.filter {
-            println!(
-                "filter {f:?} active: not overwriting BENCH_{}.json",
-                self.name
-            );
+            println!("filter {f:?} active: not writing BENCH_{}.json", self.name);
             return self.results;
         }
-        if self.quick {
+        if self.quick && explicit_dir.is_none() {
             println!(
                 "quick mode: not overwriting BENCH_{}.json (its baseline uses full sampling)",
                 self.name
             );
             return self.results;
         }
-        let dir = std::env::var("TESTKIT_BENCH_DIR")
-            .or_else(|_| std::env::var("CARGO_MANIFEST_DIR").map(|m| format!("{m}/../..")))
-            .unwrap_or_else(|_| String::from("."));
+        let dir = explicit_dir
+            .or_else(|| {
+                std::env::var("CARGO_MANIFEST_DIR")
+                    .ok()
+                    .map(|m| format!("{m}/../.."))
+            })
+            .unwrap_or_else(|| String::from("."));
         let path = format!("{dir}/BENCH_{}.json", self.name);
         match std::fs::write(&path, &json) {
             Ok(()) => println!("wrote {path}"),

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: re-runs the mis-bench suites (quick mode)
+# into a scratch directory and compares every committed BENCH_*.json
+# baseline id against the fresh results, failing on a >25 % regression
+# (override with BENCH_DIFF_MAX_REGRESSION, a factor, e.g. 1.25). The
+# fresh side uses each benchmark's fastest sample so quick-mode
+# scheduling noise cannot flake the gate (see bench_diff.rs), and a
+# failing auto-generated run is retried once — a regression must
+# reproduce in two independent bench runs to fail the build.
+#
+# Usage:
+#   scripts/bench_diff.sh             # run quick benches, then compare
+#   scripts/bench_diff.sh <fresh_dir> # compare pre-existing fresh results
+#
+# Wired into scripts/ci.sh behind CI_BENCH=1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+MAX_REGRESSION="${BENCH_DIFF_MAX_REGRESSION:-1.25}"
+
+shopt -s nullglob
+baselines=(BENCH_*.json)
+if [[ ${#baselines[@]} -eq 0 ]]; then
+    echo "bench_diff.sh: no committed BENCH_*.json baselines found" >&2
+    exit 2
+fi
+
+compare_dir() {
+    local fresh_dir="$1"
+    local status=0
+    local baseline fresh
+    for baseline in "${baselines[@]}"; do
+        fresh="${fresh_dir}/${baseline}"
+        echo "== ${baseline}"
+        if [[ ! -f "${fresh}" ]]; then
+            echo "bench_diff.sh: fresh run produced no ${baseline}" >&2
+            status=1
+            continue
+        fi
+        cargo run --release -q -p mis-bench --bin bench_diff --offline -- \
+            "${baseline}" "${fresh}" "${MAX_REGRESSION}" || status=1
+    done
+    return "${status}"
+}
+
+if [[ -n "${1:-}" ]]; then
+    compare_dir "$1"
+    exit $?
+fi
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "${SCRATCH}"' EXIT
+for attempt in 1 2; do
+    echo "== fresh quick bench run (attempt ${attempt}) into ${SCRATCH}"
+    TESTKIT_BENCH_DIR="${SCRATCH}" TESTKIT_BENCH_QUICK=1 \
+        cargo bench -p mis-bench --offline
+    if compare_dir "${SCRATCH}"; then
+        exit 0
+    fi
+    if [[ "${attempt}" == "1" ]]; then
+        echo "bench_diff.sh: regression reported; retrying once to rule out machine noise"
+    fi
+done
+echo "bench_diff.sh: regression reproduced in two independent runs" >&2
+exit 1

@@ -15,13 +15,14 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
-# Optional: CI-scale benchmark smoke (exercises the harness = false bench
-# targets; quick mode prints JSON but deliberately leaves the committed
-# BENCH_*.json baselines untouched — refresh those with a full
+# Optional: CI-scale benchmark smoke + regression gate (quick-mode runs
+# of the harness = false bench targets, diffed against the committed
+# BENCH_*.json baselines; >25 % median regression on any existing id
+# fails — see scripts/bench_diff.sh; refresh baselines with a full
 # `cargo bench -p mis-bench`). Enable with CI_BENCH=1.
 if [[ "${CI_BENCH:-0}" != "0" ]]; then
-    echo "== cargo bench -p mis-bench (quick)"
-    TESTKIT_BENCH_QUICK=1 cargo bench -p mis-bench --offline
+    echo "== bench regression gate (scripts/bench_diff.sh)"
+    scripts/bench_diff.sh
 fi
 
 echo "tier-1 gate: OK"

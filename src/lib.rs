@@ -13,7 +13,11 @@
 //!   place of the paper's Spectre + FreePDK15 stack.
 //! * [`digital`] (`mis-digital`) — an event-driven timing simulator with
 //!   pure, inertial, exponential-involution, sum-exp and hybrid two-input
-//!   channels, plus the Fig. 7 accuracy experiment.
+//!   channels (exact and cached), plus the Fig. 7 accuracy experiment.
+//! * [`charlib`] (`mis-charlib`) — the gate-characterization layer:
+//!   interpolated `δ↓(Δ)`/`δ↑(Δ, V_N)` delay surfaces built once from the
+//!   exact model under an error budget, serialized to committable text,
+//!   and consumed by `digital`'s cached fast-path channel.
 //! * [`waveform`] (`mis-waveform`) — analog waveforms, digital traces,
 //!   digitization, deviation area, random trace generation.
 //! * [`num`] (`mis-num`) / [`linalg`] (`mis-linalg`) — the numerical
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub use mis_analog as analog;
+pub use mis_charlib as charlib;
 pub use mis_core as core;
 pub use mis_digital as digital;
 pub use mis_linalg as linalg;

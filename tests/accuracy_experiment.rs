@@ -5,6 +5,7 @@
 
 use mis_delay::analog::transient::TransientOptions;
 use mis_delay::analog::NorTech;
+use mis_delay::charlib::{CharConfig, CharLib};
 use mis_delay::digital::accuracy::{run_experiment, ExperimentConfig};
 use mis_delay::waveform::generate::{Assignment, TraceConfig};
 use mis_delay::waveform::units::ps;
@@ -54,6 +55,41 @@ fn fig7_orderings_hold_at_reduced_scale() {
         hm_with_g <= exp + 0.05,
         "on broad pulses the hybrid should at least match the Exp-Channel: \
          {hm_with_g:.3} vs {exp:.3}"
+    );
+}
+
+#[test]
+fn cached_channel_matches_exact_hybrid_within_budget_at_reduced_scale() {
+    // The characterization acceptance check: in the reduced Fig. 7
+    // experiment the cached fast-path channel's deviation area must stay
+    // within the configured interpolation-error budget of the exact
+    // hybrid channel — the budget is per scheduled edge, so the
+    // per-trace allowance is the input transition count times the budget.
+    let transitions = 40;
+    let char_cfg = CharConfig::default();
+    let lib = CharLib::nor(&mis_delay::core::NorParams::paper_table1(), &char_cfg)
+        .expect("characterization");
+    let cfg = ExperimentConfig {
+        repetitions: 2,
+        ..ExperimentConfig::default()
+    }
+    .with_cached_library(lib);
+    let configs = vec![TraceConfig::new(
+        ps(300.0),
+        ps(100.0),
+        Assignment::Local,
+        transitions,
+    )];
+    let results = run_experiment(&cfg, &configs).expect("experiment");
+    let models = &results[0].models;
+    assert_eq!(models.len(), 5);
+    let exact = models[3].raw_mean;
+    let cached = models[4].raw_mean;
+    let tol = transitions as f64 * char_cfg.budget;
+    assert!(
+        (cached - exact).abs() <= tol,
+        "cached deviation area {cached:e} vs exact {exact:e} exceeds \
+         {transitions} × budget = {tol:e}"
     );
 }
 
