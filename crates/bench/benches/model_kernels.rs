@@ -10,9 +10,11 @@ use mis_analog::transient::TransientOptions;
 use mis_analog::NorTech;
 use mis_core::charlie::CharacteristicDelays;
 use mis_core::{delay, fit, HybridTrajectory, Mode, ModeSwitch, NorParams, RisingInitialVn};
+use mis_digital::{gates, InertialChannel, TraceTransform};
 use mis_testkit::bench::{black_box, Harness};
+use mis_waveform::generate::{Assignment, TraceConfig};
 use mis_waveform::units::ps;
-use mis_waveform::DigitalTrace;
+use mis_waveform::{DigitalTrace, EdgeBuf};
 
 fn main() {
     let mut h = Harness::from_args("model_kernels");
@@ -84,6 +86,36 @@ fn main() {
         };
         h.bench("charlib_build/nor_quick", || {
             mis_charlib::CharLib::nor(black_box(&p), &quick).expect("characterization")
+        });
+    }
+
+    {
+        // The fused ideal-gate + channel pass of `Network::run_in`, on
+        // warm staging buffers — tracked separately from the netlist
+        // benches so the fusion win is visible independently of topology
+        // effects. 500 input transitions, as in `channel_throughput`.
+        let pair = TraceConfig::new(ps(150.0), ps(60.0), Assignment::Local, 500)
+            .generate(0xbe7)
+            .expect("trace generation");
+        let inertial = InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel");
+        let (mut abuf, mut bbuf) = (EdgeBuf::new(), EdgeBuf::new());
+        abuf.copy_trace(&pair.a);
+        bbuf.copy_trace(&pair.b);
+        let mut scratch = EdgeBuf::new();
+        let mut out = EdgeBuf::new();
+        h.bench("fused_gate_channel/nor_inertial_500", || {
+            gates::combine2_into(|x, y| !(x || y), abuf.as_ref(), bbuf.as_ref(), &mut scratch)
+                .expect("ideal");
+            inertial
+                .apply_into(scratch.as_ref(), &mut out)
+                .expect("inertial");
+            out.len()
+        });
+        // The unfused equivalent (owned ideal trace + allocating apply),
+        // for the before/after of the same work.
+        h.bench("fused_gate_channel/nor_inertial_500_alloc", || {
+            let ideal = gates::nor(&pair.a, &pair.b).expect("ideal");
+            inertial.apply(&ideal).expect("inertial").transition_count()
         });
     }
 

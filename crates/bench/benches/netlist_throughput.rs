@@ -1,0 +1,104 @@
+//! Circuit-scale throughput of the arena engine: whole `Network`
+//! evaluations over multi-gate benchmark netlists (`mis_digital::netlists`),
+//! the workload of the interconnected-gates follow-up paper
+//! (Ferdowsi et al., arXiv:2403.10540).
+//!
+//! Three topologies with distinct event-flow shapes, each measured on the
+//! steady-state path (`Network::run_in` into a warm `TraceArena`, zero
+//! heap allocations — the property asserted by `crates/digital/tests/alloc.rs`):
+//!
+//! * `nor_chain8` — eight reconvergent NOR stages in series (serial event
+//!   propagation), under the cached hybrid MIS model and under the
+//!   zero-time-gate + inertial-channel baseline;
+//! * `c17` — the ISCAS-85 C17 six-NAND cut (fan-out + reconvergence),
+//!   cached hybrid vs inertial;
+//! * `fanout_tree_d4` — a depth-4 inverter tree (15 gates, pure fan-out)
+//!   with inertial channels.
+//!
+//! The `run_alloc` ids measure the same circuits through the legacy
+//! allocating `Network::run` wrapper (fresh arena + owned trace export
+//! per call): the gap to the `run_in` twin is the price of allocation
+//! the warm arena amortizes away — large relative to the cheap inertial
+//! kernels, small relative to the cached hybrid's own scheduling work.
+//!
+//! Runs on the in-repo `mis-testkit` bench harness; JSON results land in
+//! `BENCH_netlist_throughput.json`.
+
+use mis_charlib::{CharConfig, CharLib};
+use mis_core::NorParams;
+use mis_digital::netlists::{self, BuiltNetlist, CachedHybridFactory, ChannelPerGate};
+use mis_digital::{GateKind, InertialChannel, TraceTransform};
+use mis_testkit::bench::Harness;
+use mis_waveform::generate::{Assignment, TraceConfig};
+use mis_waveform::units::ps;
+use mis_waveform::{DigitalTrace, TraceArena};
+
+fn inertial() -> Option<Box<dyn TraceTransform>> {
+    Some(Box::new(
+        InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel"),
+    ))
+}
+
+/// Two 100-transition-per-input streams (the netlists re-use input `b`
+/// at every chain stage, so edge counts grow along the chain).
+fn pair_inputs(seed: u64) -> Vec<DigitalTrace> {
+    let pair = TraceConfig::new(ps(200.0), ps(80.0), Assignment::Local, 200)
+        .generate(seed)
+        .expect("trace generation");
+    vec![pair.a, pair.b]
+}
+
+fn main() {
+    let mut h = Harness::from_args("netlist_throughput");
+
+    let lib =
+        CharLib::nor(&NorParams::paper_table1(), &CharConfig::default()).expect("characterization");
+    let mut cached = CachedHybridFactory::new(&lib).expect("factory");
+
+    let chain_cached = netlists::ripple_chain(GateKind::Nor, 8, &mut cached).expect("netlist");
+    let chain_inertial =
+        netlists::ripple_chain(GateKind::Nor, 8, &mut ChannelPerGate(inertial)).expect("netlist");
+    let c17_cached = netlists::c17(&mut cached).expect("netlist");
+    let c17_inertial = netlists::c17(&mut ChannelPerGate(inertial)).expect("netlist");
+    let tree = netlists::fanout_tree(4, &mut inertial).expect("netlist");
+
+    let chain_in = pair_inputs(0xc4a1);
+    let c17_in: Vec<DigitalTrace> = vec![
+        pair_inputs(0xc17).remove(0),
+        pair_inputs(0xc18).remove(0),
+        pair_inputs(0xc19).remove(0),
+        pair_inputs(0xc1a).remove(0),
+        pair_inputs(0xc1b).remove(0),
+    ];
+    let tree_in = vec![pair_inputs(0x7ee).remove(0)];
+
+    let mut arena = TraceArena::new();
+    let mut run_in = |h: &mut Harness, id: &str, built: &BuiltNetlist, inputs: &[DigitalTrace]| {
+        built.net.run_in(inputs, &mut arena).expect("warm-up run");
+        let arena = &mut arena;
+        h.bench(id, move || {
+            built.net.run_in(inputs, arena).expect("run_in");
+            arena.total_edges()
+        });
+    };
+
+    run_in(&mut h, "nor_chain8_cached/run_in", &chain_cached, &chain_in);
+    run_in(
+        &mut h,
+        "nor_chain8_inertial/run_in",
+        &chain_inertial,
+        &chain_in,
+    );
+    run_in(&mut h, "c17_cached/run_in", &c17_cached, &c17_in);
+    run_in(&mut h, "c17_inertial/run_in", &c17_inertial, &c17_in);
+    run_in(&mut h, "fanout_tree_d4_inertial/run_in", &tree, &tree_in);
+
+    h.bench("nor_chain8_cached/run_alloc", || {
+        chain_cached.net.run(&chain_in).expect("run").len()
+    });
+    h.bench("nor_chain8_inertial/run_alloc", || {
+        chain_inertial.net.run(&chain_in).expect("run").len()
+    });
+
+    h.finish();
+}

@@ -67,6 +67,22 @@ impl Default for CharConfig {
 }
 
 impl CharConfig {
+    /// A coarse, fast configuration for tests and smoke runs: few
+    /// starting grid points, a loose 1 ps budget, and rail-only `V_N`
+    /// slices. Characterizes in a few milliseconds where
+    /// [`CharConfig::default`] takes hundreds; accuracy is only good
+    /// enough for structural checks, not for delay comparisons against
+    /// the exact model.
+    #[must_use]
+    pub fn quick() -> Self {
+        CharConfig {
+            initial_points: 5,
+            budget: ps(1.0),
+            vn_fractions: vec![0.0, 1.0],
+            ..CharConfig::default()
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -4,7 +4,7 @@
 
 use mis_charlib::{CharGate, CharLib, SurfaceFamily};
 use mis_core::{Mode, ModeConstants, ModeSystem, ModeTrajectory, NorParams};
-use mis_waveform::DigitalTrace;
+use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
 use crate::channels::TwoInputTransform;
 use crate::{gates, SimError};
@@ -58,6 +58,12 @@ use crate::{gates, SimError};
 pub struct CachedHybridChannel {
     falling: UniformFamily,
     rising: UniformFamily,
+    /// Single-input falling delays — the `Δ = +∞` (S10) and `Δ = −∞`
+    /// (S01) clamps of the falling surface, precomputed because the
+    /// first-rising-input fall is the most common schedule in real
+    /// traffic and needs no table walk at all.
+    fall_s10: f64,
+    fall_s01: f64,
     vdd: f64,
     delta_min: f64,
     /// `V_N` assumed when the trace *starts* in `(1,1)` (no history).
@@ -116,19 +122,21 @@ impl UniformCurve {
     }
 }
 
-/// Starting resampled points per slice (~1.2 ps step over the default
-/// ±300 ps range — the table stays cache-resident).
-const MIN_RESAMPLE_POINTS: usize = 513;
+/// Starting resampled points per slice (~4.7 ps step over the default
+/// ±300 ps range — cubic Hermite cells converge orders of magnitude
+/// faster than the piecewise-linear sampling this replaced, so the
+/// validated tables stay small enough to live in L1/L2).
+const MIN_RESAMPLE_POINTS: usize = 129;
 
 /// Hard cap on resampled points per slice (memory guard for extreme
 /// error budgets).
 const MAX_RESAMPLE_POINTS: usize = 16_385;
 
 /// Resamples a family at the coarsest density whose secondary
-/// piecewise-linear error against the monotone-cubic surfaces stays
-/// within `tol` (validated at every cell midpoint), doubling until the
-/// cap. This ties the uniform table to the library's declared budget
-/// instead of assuming a fixed step suffices.
+/// interpolation error (uniform Hermite cells vs the monotone-cubic
+/// surfaces) stays within `tol`, validated at every cell midpoint and
+/// doubling until the cap. This ties the uniform table to the library's
+/// declared budget instead of assuming a fixed step suffices.
 fn resample_within(fam: &SurfaceFamily, tol: f64) -> UniformFamily {
     let mut n = MIN_RESAMPLE_POINTS;
     loop {
@@ -154,11 +162,19 @@ fn resample_error(fam: &SurfaceFamily, table: &UniformFamily, n: usize) -> f64 {
     worst
 }
 
-/// A uniform-step resampling of a [`SurfaceFamily`] for branch-light O(1)
-/// lookups on the event hot path: index arithmetic plus one linear
-/// interpolation instead of a binary search and a cubic Hermite per
-/// query. Samples are stored point-major (`ys[i·m + s]`), so the slice
-/// pair bracketing a voltage reads adjacent memory.
+/// A uniform-step **cubic Hermite** resampling of a [`SurfaceFamily`]
+/// for branch-light O(1) lookups on the event hot path: index arithmetic
+/// plus one Hermite evaluation instead of a binary search over the
+/// non-uniform characterization grid.
+///
+/// Each grid point stores `(value, h·derivative)` — the derivative taken
+/// from the monotone-cubic surface itself, pre-scaled by the grid step —
+/// laid out point-major (`ys[(i·m + s)·2 ..]`), so the slice pair
+/// bracketing a voltage reads adjacent memory. Cubic cells converge as
+/// `h⁴` where the previous piecewise-linear table converged as `h²`,
+/// which shrinks the validated tables by an order of magnitude (the
+/// rising family drops from ~160 KiB to ~20 KiB) and keeps the hot-loop
+/// reads cache-resident: the lookup cost is arithmetic, not misses.
 #[derive(Debug, Clone)]
 struct UniformFamily {
     lo: f64,
@@ -171,7 +187,7 @@ struct UniformFamily {
     voltages: Vec<f64>,
     /// Reciprocal voltage gaps, `inv_dv[i] = 1/(voltages[i+1]−voltages[i])`.
     inv_dv: Vec<f64>,
-    /// Point-major sample matrix, `n × voltages.len()`.
+    /// Point-major `(value, h·derivative)` matrix, `n × m × 2`.
     ys: Vec<f64>,
 }
 
@@ -180,11 +196,25 @@ impl UniformFamily {
         let (lo, hi) = fam.delta_range();
         let h = (hi - lo) / (n - 1) as f64;
         let m = fam.slices().len();
-        let mut ys = Vec::with_capacity(n * m);
+        // Central-difference step for the surface derivative: small
+        // against the cell, large against f64 cancellation.
+        let eps = h * 1e-4;
+        let mut ys = Vec::with_capacity(n * m * 2);
         for i in 0..n {
             let delta = lo + h * i as f64;
             for slice in fam.slices() {
-                ys.push(slice.eval(delta));
+                let value = slice.eval(delta);
+                // One-sided at the grid ends (the surface clamps outside
+                // its range, which would flatten a centered difference).
+                let d = if i == 0 {
+                    (slice.eval(delta + eps) - value) / eps
+                } else if i == n - 1 {
+                    (value - slice.eval(delta - eps)) / eps
+                } else {
+                    (slice.eval(delta + eps) - slice.eval(delta - eps)) / (2.0 * eps)
+                };
+                ys.push(value);
+                ys.push(d * h);
             }
         }
         let voltages = fam.voltages().to_vec();
@@ -215,12 +245,33 @@ impl UniformFamily {
         (i, x - i as f64)
     }
 
+    /// Cubic Hermite over one cell from `(v0, dh0)` at its left point and
+    /// `(v1, dh1)` at its right, `t ∈ [0, 1]`. Written in Estrin form —
+    /// `(v0 + t·dh0) + t²·(b + t·a)` — rather than Horner: the event loop
+    /// is one serial dependency chain (each lookup feeds the pending edge
+    /// the next event compares against), so the two shorter parallel
+    /// sub-chains beat the three nested multiply-adds.
+    #[inline]
+    fn hermite(v0: f64, dh0: f64, v1: f64, dh1: f64, t: f64) -> f64 {
+        let dv = v1 - v0;
+        let a = dh0 + dh1 - 2.0 * dv;
+        let b = 3.0 * dv - 2.0 * dh0 - dh1;
+        let t2 = t * t;
+        (v0 + t * dh0) + t2 * (b + t * a)
+    }
+
     #[inline]
     fn eval_slice(&self, s: usize, delta: f64) -> f64 {
         let (i, t) = self.locate(delta);
-        let y0 = self.ys[i * self.m + s];
-        let y1 = self.ys[(i + 1) * self.m + s];
-        y0 + t * (y1 - y0)
+        let p0 = (i * self.m + s) * 2;
+        let p1 = ((i + 1) * self.m + s) * 2;
+        Self::hermite(
+            self.ys[p0],
+            self.ys[p0 + 1],
+            self.ys[p1],
+            self.ys[p1 + 1],
+            t,
+        )
     }
 
     #[inline]
@@ -240,13 +291,24 @@ impl UniformFamily {
         let s = hi - 1;
         let tv = (v - self.voltages[s]) * self.inv_dv[s];
         let (i, t) = self.locate(delta);
-        // Four reads from two adjacent point-major rows.
-        let a0 = self.ys[i * m + s];
-        let a1 = self.ys[i * m + s + 1];
-        let b0 = self.ys[(i + 1) * m + s];
-        let b1 = self.ys[(i + 1) * m + s + 1];
-        let lo_v = a0 + t * (b0 - a0);
-        let hi_v = a1 + t * (b1 - a1);
+        // Two Hermite cells from two adjacent point-major rows (the
+        // bracketing slices are contiguous within each row).
+        let p0 = (i * m + s) * 2;
+        let p1 = ((i + 1) * m + s) * 2;
+        let lo_v = Self::hermite(
+            self.ys[p0],
+            self.ys[p0 + 1],
+            self.ys[p1],
+            self.ys[p1 + 1],
+            t,
+        );
+        let hi_v = Self::hermite(
+            self.ys[p0 + 2],
+            self.ys[p0 + 3],
+            self.ys[p1 + 2],
+            self.ys[p1 + 3],
+            t,
+        );
         lo_v + tv * (hi_v - lo_v)
     }
 }
@@ -297,8 +359,11 @@ impl CachedHybridChannel {
         let vn_decay = UniformCurve::tabulate(0.0, 16.0 * tau_fall[FALL_S10], CURVE_POINTS, |d| {
             s10_from_rails.vn(d)
         });
+        let falling = resample_within(lib.falling(), 0.25 * lib.budget());
         Ok(CachedHybridChannel {
-            falling: resample_within(lib.falling(), 0.25 * lib.budget()),
+            fall_s10: falling.eval(f64::INFINITY, 0.0),
+            fall_s01: falling.eval(f64::NEG_INFINITY, 0.0),
+            falling,
             rising: resample_within(lib.rising(), 0.25 * lib.budget()),
             vdd,
             delta_min: params.delta_min,
@@ -310,15 +375,26 @@ impl CachedHybridChannel {
     }
 }
 
-/// Mutable scheduling state of one `apply2` run.
-struct Scheduler<'a> {
+/// Mutable scheduling state of one channel run. The output is written to
+/// a borrowed [`EdgeBuf`] (the arena hot path owns it; the allocating
+/// compatibility path wraps a temporary), with polarities implied by the
+/// buffer's parity representation — the scheduler's own value tracking
+/// guarantees alternation.
+///
+/// The state layout is chosen for the event hot loop, where the dominant
+/// cost is unpredictable branches, not arithmetic: the input values are
+/// one bit mask (`high`), the per-input edge times are indexed by
+/// `[polarity][input]` so recording an event is a single branchless
+/// store, and the at-most-one pending edge is a plain time with `+∞` as
+/// the "none" sentinel — every "is a pending edge due?" question is one
+/// float compare instead of an `Option` match.
+struct Scheduler<'a, 'o> {
     ch: &'a CachedHybridChannel,
-    va: bool,
-    vb: bool,
-    /// Last rise time per input (A, B).
-    t_rise: [f64; 2],
-    /// Last fall time per input (A, B).
-    t_fall: [f64; 2],
+    /// Input-high bit mask: bit 0 = A, bit 1 = B.
+    high: u32,
+    /// Last edge time per `[polarity][input]`: `t_edges[1]` holds rise
+    /// times, `t_edges[0]` fall times, each `[A, B]`.
+    t_edges: [[f64; 2]; 2],
     /// `V_N` frozen at the most recent `(1,1)` entry.
     frozen_vn: f64,
     /// Start of the current output-low episode (first rising input).
@@ -327,103 +403,148 @@ struct Scheduler<'a> {
     ep_s11: bool,
     /// Committed output value.
     value: bool,
-    /// At most one scheduled, not-yet-committed output edge.
-    pending: Option<(f64, bool)>,
+    /// Scheduled, not-yet-committed output crossing (`+∞` = none).
+    pending_t: f64,
+    /// Polarity of the pending crossing (meaningless when none).
+    pending_pol: bool,
     /// Pull-down mode index of the most recent fall, selecting the rise
     /// partial-swing correction table.
     last_fall_idx: usize,
-    out: DigitalTrace,
+    /// Mirror of `out.last_time()` (`−∞` while empty), so the nudge guard
+    /// and the partial-swing corrections read a register instead of
+    /// chasing the buffer.
+    last_out_t: f64,
+    out: &'o mut EdgeBuf,
 }
 
-impl Scheduler<'_> {
-    /// Commits the pending edge if the event arriving at `t` can no longer
-    /// cancel it. Input events act *deferred* by the pure delay `δ_min`
-    /// (exactly as in the exact channel), so a crossing predicted up to
-    /// `t + δ_min` is already locked in when the event lands — this is
-    /// what preserves the exact channel's shortened pulses whose crossing
-    /// falls inside the deferral window.
-    fn commit_pending_before(&mut self, t: f64) -> Result<(), SimError> {
-        if let Some((tp, pol)) = self.pending {
-            if tp <= t + self.ch.delta_min {
-                self.push(tp, pol)?;
-                self.pending = None;
-            }
+impl<'a, 'o> Scheduler<'a, 'o> {
+    /// Prepares a run: clears `out` to the NOR of the initial input
+    /// values and seeds the event-history state.
+    fn new(ch: &'a CachedHybridChannel, a0: bool, b0: bool, out: &'o mut EdgeBuf) -> Self {
+        let initial = !(a0 || b0);
+        out.clear(initial);
+        Scheduler {
+            ch,
+            high: u32::from(a0) | u32::from(b0) << 1,
+            t_edges: [[f64::NEG_INFINITY; 2]; 2],
+            frozen_vn: if a0 && b0 { ch.policy_v } else { ch.vdd },
+            ep_start: f64::NEG_INFINITY,
+            ep_s11: a0 && b0,
+            value: initial,
+            pending_t: f64::INFINITY,
+            pending_pol: false,
+            last_fall_idx: FALL_S11,
+            last_out_t: f64::NEG_INFINITY,
+            out,
+        }
+    }
+
+    /// Flushes the pending edge at the end of the event stream.
+    fn finish(mut self) -> Result<(), SimError> {
+        if self.pending_t < f64::INFINITY {
+            let (tp, pol) = (self.pending_t, self.pending_pol);
+            self.pending_t = f64::INFINITY;
+            self.push(tp, pol)?;
         }
         Ok(())
     }
 
+    #[inline]
     fn push(&mut self, t: f64, rising: bool) -> Result<(), SimError> {
         // Guard against pathological reschedules landing at or before the
         // previously committed edge: nudge forward by one trace quantum.
-        let t = match self.out.edges().last() {
-            Some(last) if t <= last.time => last.time + 1e-18,
-            _ => t,
+        let t = if t <= self.last_out_t {
+            self.last_out_t + 1e-18
+        } else {
+            t
         };
-        self.out.push_edge(t, rising)?;
+        self.last_out_t = t;
+        // The nudge already enforced monotonicity and the scheduler's own
+        // value tracking guarantees alternation, so the parity-implied
+        // polarity matches `rising` by construction (debug-checked).
+        debug_assert_eq!(rising, !self.out.final_value());
+        self.out.push_time(t)?;
         self.value = rising;
         Ok(())
     }
 
-    fn handle(&mut self, t: f64, which: usize, v: bool) -> Result<(), SimError> {
-        self.commit_pending_before(t)?;
-        let was = (self.va, self.vb);
-        if which == 0 {
-            self.va = v;
+    /// One input event of polarity `V` (const-specialized: a rising and a
+    /// falling event share almost no state transitions, and pruning the
+    /// impossible halves statically keeps the per-event branch count —
+    /// the hot loop's real currency — minimal).
+    #[inline]
+    fn handle<const V: bool>(&mut self, t: f64, which: usize) -> Result<(), SimError> {
+        // Commit the pending edge if this event can no longer cancel it.
+        // Input events act *deferred* by the pure delay `δ_min` (exactly
+        // as in the exact channel), so a crossing predicted up to
+        // `t + δ_min` is already locked in when the event lands — this is
+        // what preserves the exact channel's shortened pulses whose
+        // crossing falls inside the deferral window. (The `+∞` sentinel
+        // makes this compare false when nothing is pending.)
+        if self.pending_t <= t + self.ch.delta_min {
+            let (tp, pol) = (self.pending_t, self.pending_pol);
+            self.pending_t = f64::INFINITY;
+            self.push(tp, pol)?;
+        }
+        let was = self.high;
+        self.t_edges[usize::from(V)][which] = t;
+        if V {
+            // Rising input: the output can only (re)schedule a fall.
+            self.high = was | 1 << which;
+            if was == 0 {
+                // First rising input opens an output-low episode.
+                self.ep_start = t;
+                self.ep_s11 = false;
+            } else if self.high == 3 {
+                self.ep_s11 = true;
+                // Freeze the internal node. B-first paths ((0,1) → (1,1))
+                // left N precharged to VDD; A-first paths have discharged
+                // it since A rose (a trace-initial high A counts as
+                // "forever", i.e. fully discharged, the tabulated decay's
+                // clamped tail).
+                self.frozen_vn = match was {
+                    0b10 => self.ch.vdd,
+                    0b01 => self.ch.vn_decay.eval(t - self.t_edges[1][0]),
+                    _ => self.frozen_vn,
+                };
+            }
+            // `ideal` is statically low here. A pending fall's Δ is
+            // stale — the second rising input sharpens it to the MIS
+            // delay; a pending rise is cancelled (the input reverted
+            // before the crossing), and a fall is due if the output is
+            // still high. All three cases land in the same reschedule.
+            if self.pending_t < f64::INFINITY && self.pending_pol {
+                self.pending_t = f64::INFINITY;
+            }
+            if self.pending_t < f64::INFINITY || self.value {
+                self.schedule::<false>(t)?;
+            }
         } else {
-            self.vb = v;
-        }
-        if v {
-            self.t_rise[which] = t;
-        } else {
-            self.t_fall[which] = t;
-        }
-        // Episode bookkeeping.
-        if was == (false, false) && v {
-            self.ep_start = t;
-            self.ep_s11 = false;
-        }
-        if self.va && self.vb {
-            self.ep_s11 = true;
-            // Freeze the internal node. B-first paths ((0,1) → (1,1))
-            // left N precharged to VDD; A-first paths have discharged it
-            // since A rose (a trace-initial high A counts as "forever",
-            // i.e. fully discharged).
-            self.frozen_vn = match was {
-                (false, true) => self.ch.vdd,
-                // Tabulated decay; a trace-initial high A (dwell = ∞)
-                // clamps to the fully discharged tail.
-                (true, false) => self.ch.vn_decay.eval(t - self.t_rise[0]),
-                _ => self.frozen_vn,
-            };
-        }
-        let ideal = !(self.va || self.vb);
-        match self.pending {
-            Some((_, pol)) => {
-                if pol == ideal {
-                    // Still heading to the same value, but the high-input
-                    // set changed, so the pending fall's Δ is stale: a
-                    // second rising input sharpens it to the MIS delay,
-                    // while an input dropping back (without flipping the
-                    // ideal value) reverts it to the remaining single
+            // Falling input: episode state is untouched (an episode opens
+            // on a rise, and `(1,1)` cannot be entered by a fall).
+            self.high = was & !(1 << which);
+            let ideal = self.high == 0;
+            if self.pending_t < f64::INFINITY {
+                if self.pending_pol == ideal {
+                    // Heading to the same value, but a pending fall's
+                    // input set shrank: revert it to the remaining single
                     // input's delay — the exact model likewise finishes
-                    // the discharge in the single-input mode. Either way,
-                    // reschedule from the surface.
-                    if !pol && (self.va || self.vb) {
-                        self.schedule(t, false)?;
+                    // the discharge in the single-input mode. (A pending
+                    // *fall* implies some input is high, so `!ideal` is
+                    // the whole condition.)
+                    if !ideal {
+                        self.schedule::<false>(t)?;
                     }
                 } else {
                     // The input reverted before the scheduled crossing:
                     // the transition never happens (glitch suppression).
-                    self.pending = None;
+                    self.pending_t = f64::INFINITY;
                     if ideal != self.value {
-                        self.schedule(t, ideal)?;
+                        self.schedule_dyn(t, ideal)?;
                     }
                 }
-            }
-            None => {
-                if ideal != self.value {
-                    self.schedule(t, ideal)?;
-                }
+            } else if ideal != self.value {
+                self.schedule_dyn(t, ideal)?;
             }
         }
         Ok(())
@@ -436,33 +557,49 @@ impl Scheduler<'_> {
     /// mode's `τ_f` starts lower and crosses earlier by
     /// `τ_f · ln(V_O/V_DD)` — tabulated at construction, so this is a
     /// clamped table lookup (zero once the output has settled).
+    #[inline]
     fn fall_partial_swing_correction(&mut self, anchor: f64, fall_idx: usize) -> f64 {
         self.last_fall_idx = fall_idx;
-        let Some(prev) = self.out.edges().last() else {
+        if self.last_out_t == f64::NEG_INFINITY {
             return 0.0;
-        };
-        self.ch.fall_corr[fall_idx].eval(anchor + self.ch.delta_min - prev.time)
+        }
+        self.ch.fall_corr[fall_idx].eval(anchor + self.ch.delta_min - self.last_out_t)
     }
 
     /// The mirror-image correction for a rise following a fall that had
     /// not fully discharged the output.
+    #[inline]
     fn rise_partial_swing_correction(&self, anchor: f64) -> f64 {
-        let Some(prev) = self.out.edges().last() else {
+        if self.last_out_t == f64::NEG_INFINITY {
             return 0.0;
-        };
-        self.ch.rise_corr[self.last_fall_idx].eval(anchor + self.ch.delta_min - prev.time)
+        }
+        self.ch.rise_corr[self.last_fall_idx].eval(anchor + self.ch.delta_min - self.last_out_t)
     }
 
-    fn schedule(&mut self, t: f64, target: bool) -> Result<(), SimError> {
-        let tp = if target {
+    /// Dynamic-target dispatch for the one call site whose polarity is
+    /// only known at run time.
+    #[inline]
+    fn schedule_dyn(&mut self, t: f64, target: bool) -> Result<(), SimError> {
+        if target {
+            self.schedule::<true>(t)
+        } else {
+            self.schedule::<false>(t)
+        }
+    }
+
+    #[inline]
+    fn schedule<const TARGET: bool>(&mut self, t: f64) -> Result<(), SimError> {
+        let t_rise = self.t_edges[1];
+        let t_fall = self.t_edges[0];
+        let tp = if TARGET {
             // Rising output: both inputs low as of this event.
             let (delta, x) = if self.ep_s11 {
-                (self.t_fall[1] - self.t_fall[0], self.frozen_vn)
+                (t_fall[1] - t_fall[0], self.frozen_vn)
             } else if self.ep_start > f64::NEG_INFINITY {
                 // Single-input episode: the model's first-phase dwell is
                 // the episode length; N started from the rails.
                 let dwell = t - self.ep_start;
-                let signed = if self.t_fall[0] >= self.t_fall[1] {
+                let signed = if t_fall[0] >= t_fall[1] {
                     // A was the high input (it fell last): an A-first
                     // discharge phase, Δ < 0 in the paper's convention.
                     -dwell
@@ -472,37 +609,38 @@ impl Scheduler<'_> {
                 (signed, self.ch.vdd)
             } else {
                 // No recorded history: settled single-input limits.
-                (self.t_fall[1] - self.t_fall[0], self.ch.vdd)
+                (t_fall[1] - t_fall[0], self.ch.vdd)
             };
             t + self.ch.rising.eval(delta, x) + self.rise_partial_swing_correction(t)
         } else {
             // Falling output: anchored at the earliest currently-high
-            // input's rise.
-            let (anchor, delta, fall_idx) = match (self.va, self.vb) {
-                (true, true) => (
-                    self.t_rise[0].min(self.t_rise[1]),
-                    self.t_rise[1] - self.t_rise[0],
+            // input's rise. The single-input modes take a precomputed
+            // constant (the surface's `Δ = ±∞` clamp); only the genuine
+            // MIS case walks the table.
+            let (anchor, base, fall_idx) = match self.high {
+                0b11 => (
+                    t_rise[0].min(t_rise[1]),
+                    self.ch.falling.eval(t_rise[1] - t_rise[0], 0.0),
                     FALL_S11,
                 ),
-                (true, false) => (self.t_rise[0], f64::INFINITY, FALL_S10),
-                (false, true) => (self.t_rise[1], f64::NEG_INFINITY, FALL_S01),
-                (false, false) => unreachable!("falling schedule with both inputs low"),
+                0b01 => (t_rise[0], self.ch.fall_s10, FALL_S10),
+                0b10 => (t_rise[1], self.ch.fall_s01, FALL_S01),
+                _ => unreachable!("falling schedule with both inputs low"),
             };
             let anchor = if anchor > f64::NEG_INFINITY {
                 anchor
             } else {
                 t
             };
-            anchor
-                + self.ch.falling.eval(delta, 0.0)
-                + self.fall_partial_swing_correction(anchor, fall_idx)
+            anchor + base + self.fall_partial_swing_correction(anchor, fall_idx)
         };
         if tp <= t + self.ch.delta_min {
             // Already locked in (events act deferred by δ_min).
-            self.push(tp, target)?;
-            self.pending = None;
+            self.pending_t = f64::INFINITY;
+            self.push(tp, TARGET)?;
         } else {
-            self.pending = Some((tp, target));
+            self.pending_t = tp;
+            self.pending_pol = TARGET;
         }
         Ok(())
     }
@@ -510,22 +648,8 @@ impl Scheduler<'_> {
 
 impl TwoInputTransform for CachedHybridChannel {
     fn apply2(&self, a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError> {
-        let (a0, b0) = (a.initial_value(), b.initial_value());
-        let initial = !(a0 || b0);
-        let mut s = Scheduler {
-            ch: self,
-            va: a0,
-            vb: b0,
-            t_rise: [f64::NEG_INFINITY; 2],
-            t_fall: [f64::NEG_INFINITY; 2],
-            frozen_vn: if a0 && b0 { self.policy_v } else { self.vdd },
-            ep_start: f64::NEG_INFINITY,
-            ep_s11: a0 && b0,
-            value: initial,
-            pending: None,
-            last_fall_idx: FALL_S11,
-            out: DigitalTrace::constant(initial),
-        };
+        let mut out = EdgeBuf::with_capacity(a.transition_count() + b.transition_count());
+        let mut s = Scheduler::new(self, a.initial_value(), b.initial_value(), &mut out);
         // Two-pointer merge over the (already sorted) input edge lists.
         let (ea, eb) = (a.edges(), b.edges());
         let (mut i, mut j) = (0, 0);
@@ -535,18 +659,58 @@ impl TwoInputTransform for CachedHybridChannel {
                 (Some(_), None) => true,
                 (None, _) => false,
             };
-            if take_a {
-                s.handle(ea[i].time, 0, ea[i].rising)?;
+            let (t, which, v) = if take_a {
+                let e = ea[i];
                 i += 1;
+                (e.time, 0, e.rising)
             } else {
-                s.handle(eb[j].time, 1, eb[j].rising)?;
+                let e = eb[j];
                 j += 1;
+                (e.time, 1, e.rising)
+            };
+            if v {
+                s.handle::<true>(t, which)?;
+            } else {
+                s.handle::<false>(t, which)?;
             }
         }
-        if let Some((tp, pol)) = s.pending.take() {
-            s.push(tp, pol)?;
+        s.finish()?;
+        Ok(out.to_trace())
+    }
+
+    fn apply2_into(
+        &self,
+        a: TraceRef<'_>,
+        b: TraceRef<'_>,
+        out: &mut EdgeBuf,
+    ) -> Result<(), SimError> {
+        let mut s = Scheduler::new(self, a.initial_value(), b.initial_value(), out);
+        // Same two-pointer merge over the SoA views, polarities by
+        // parity. Which input fires next is a coin flip to the branch
+        // predictor, so the selection is arranged as data flow
+        // (conditional moves on one compare) rather than control flow —
+        // only `handle`'s own state machine branches remain.
+        let (ta, tb) = (a.times(), b.times());
+        let (ia, ib) = (a.initial_value(), b.initial_value());
+        let (na, nb) = (ta.len(), tb.len());
+        let (mut i, mut j) = (0, 0);
+        while i < na || j < nb {
+            let tai = if i < na { ta[i] } else { f64::INFINITY };
+            let tbj = if j < nb { tb[j] } else { f64::INFINITY };
+            let take_a = tai <= tbj;
+            let t = if take_a { tai } else { tbj };
+            let (idx, init) = if take_a { (i, ia) } else { (j, ib) };
+            let v = (idx % 2 == 0) ^ init;
+            let which = usize::from(!take_a);
+            i += usize::from(take_a);
+            j += usize::from(!take_a);
+            if v {
+                s.handle::<true>(t, which)?;
+            } else {
+                s.handle::<false>(t, which)?;
+            }
         }
-        Ok(s.out)
+        s.finish()
     }
 
     fn name(&self) -> &str {
@@ -571,9 +735,15 @@ impl CachedHybridNandChannel {
     ///
     /// Same as [`CachedHybridChannel::new`].
     pub fn from_dual(lib: &CharLib) -> Result<Self, SimError> {
-        Ok(CachedHybridNandChannel {
-            inner: CachedHybridChannel::new(lib)?,
-        })
+        Ok(Self::from_nor(CachedHybridChannel::new(lib)?))
+    }
+
+    /// Wraps an already-built dual NOR channel — no re-resampling, just
+    /// the duality adapter (used by netlist factories to share one
+    /// characterization across many gate instances).
+    #[must_use]
+    pub fn from_nor(inner: CachedHybridChannel) -> Self {
+        CachedHybridNandChannel { inner }
     }
 }
 
@@ -583,6 +753,20 @@ impl TwoInputTransform for CachedHybridNandChannel {
         let b_inv = gates::not(b)?;
         let nor_out = self.inner.apply2(&a_inv, &b_inv)?;
         gates::not(&nor_out)
+    }
+
+    fn apply2_into(
+        &self,
+        a: TraceRef<'_>,
+        b: TraceRef<'_>,
+        out: &mut EdgeBuf,
+    ) -> Result<(), SimError> {
+        // In the SoA representation NOT is free (flip the initial value,
+        // keep the times), so the duality costs nothing: run the dual NOR
+        // scheduler on inverted views and invert the result in place.
+        self.inner.apply2_into(a.inverted(), b.inverted(), out)?;
+        out.invert();
+        Ok(())
     }
 
     fn name(&self) -> &str {

@@ -1,6 +1,6 @@
-use mis_waveform::DigitalTrace;
+use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
-use crate::channels::{run_involution_channel, TraceTransform};
+use crate::channels::{run_involution_channel, run_involution_into, TraceTransform};
 use crate::SimError;
 
 /// The IDM exponential involution channel.
@@ -180,6 +180,22 @@ impl TraceTransform for ExpChannel {
                 self.delta_down(t)
             }
         })
+    }
+
+    #[inline]
+    fn apply_into(&self, input: TraceRef<'_>, out: &mut EdgeBuf) -> Result<(), SimError> {
+        run_involution_into(
+            input,
+            input.initial_value(),
+            |t, rising| {
+                if rising {
+                    self.delta_up(t)
+                } else {
+                    self.delta_down(t)
+                }
+            },
+            out,
+        )
     }
 
     fn name(&self) -> &str {

@@ -1,4 +1,4 @@
-use mis_waveform::DigitalTrace;
+use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
 use crate::channels::TraceTransform;
 use crate::SimError;
@@ -125,6 +125,35 @@ impl TraceTransform for InertialChannel {
             }
         }
         Ok(out.filter_short_pulses(self.rejection)?)
+    }
+
+    #[inline]
+    fn apply_into(&self, input: TraceRef<'_>, out: &mut EdgeBuf) -> Result<(), SimError> {
+        out.clear(input.initial_value());
+        // Pass 1 — shift + pairwise cancellation, stack-style: a shifted
+        // edge landing at or before the last surviving one annihilates
+        // together with it (both edges of an inverted-order pair vanish),
+        // which re-exposes the edge before for the next comparison —
+        // exactly the back-stepping drain loop of the allocating path.
+        // Adjacent pairs have opposite polarity, so removal preserves the
+        // alternation the buffer's parity representation implies.
+        for (k, &t) in input.times().iter().enumerate() {
+            let d = if input.rising(k) {
+                self.delay_up
+            } else {
+                self.delay_down
+            };
+            let ts = t + d;
+            match out.last_time() {
+                Some(tp) if ts <= tp => {
+                    out.pop_time();
+                }
+                _ => out.push_time(ts)?,
+            }
+        }
+        // Pass 2 — inertial rejection of surviving short pulses, in place.
+        out.filter_short_pulses_in_place(self.rejection)?;
+        Ok(())
     }
 
     fn name(&self) -> &str {

@@ -8,7 +8,7 @@ pub mod nand;
 pub mod pure;
 pub mod sumexp;
 
-use mis_waveform::DigitalTrace;
+use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
 use crate::SimError;
 
@@ -22,6 +22,20 @@ pub trait TraceTransform {
     /// Implementation-specific; typically trace-invariant violations or
     /// model failures.
     fn apply(&self, input: &DigitalTrace) -> Result<DigitalTrace, SimError>;
+
+    /// Applies the channel to a borrowed SoA view, writing the result
+    /// into `out` (cleared first) — the arena hot path. The default
+    /// delegates to the allocating [`TraceTransform::apply`]; the
+    /// workspace channels override it with allocation-free kernels.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceTransform::apply`].
+    fn apply_into(&self, input: TraceRef<'_>, out: &mut EdgeBuf) -> Result<(), SimError> {
+        let result = self.apply(&input.to_trace())?;
+        out.copy_trace(&result);
+        Ok(())
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
@@ -37,6 +51,25 @@ pub trait TwoInputTransform {
     ///
     /// Implementation-specific.
     fn apply2(&self, a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError>;
+
+    /// Applies the channel to a pair of borrowed SoA views, writing the
+    /// result into `out` (cleared first) — the arena hot path. The
+    /// default delegates to the allocating
+    /// [`TwoInputTransform::apply2`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TwoInputTransform::apply2`].
+    fn apply2_into(
+        &self,
+        a: TraceRef<'_>,
+        b: TraceRef<'_>,
+        out: &mut EdgeBuf,
+    ) -> Result<(), SimError> {
+        let result = self.apply2(&a.to_trace(), &b.to_trace())?;
+        out.copy_trace(&result);
+        Ok(())
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
@@ -92,6 +125,51 @@ where
         }
     }
     Ok(out)
+}
+
+/// The in-place twin of [`run_involution_channel`]: identical event
+/// semantics, but the schedule stack *is* the output buffer, so the run
+/// allocates nothing. Callers must pass `initial_output` equal to the
+/// input's initial value (true for every involution channel here): the
+/// cancellation rule then removes adjacent opposite-polarity pairs only,
+/// so the surviving schedule alternates starting from `!initial_output`
+/// and the buffer's parity-implied polarities are exactly the legacy
+/// runner's — the legacy defensive polarity cleanup is a no-op.
+///
+/// # Errors
+///
+/// Returns [`SimError::Trace`] if the resulting edge sequence violates
+/// trace invariants (cannot happen for a correct delay function, kept as
+/// a defensive check).
+pub(crate) fn run_involution_into<F>(
+    input: TraceRef<'_>,
+    initial_output: bool,
+    mut delta: F,
+    out: &mut EdgeBuf,
+) -> Result<(), SimError>
+where
+    F: FnMut(f64, bool) -> f64,
+{
+    debug_assert_eq!(
+        initial_output,
+        input.initial_value(),
+        "in-place involution runner requires a non-inverting channel"
+    );
+    out.clear(initial_output);
+    for (k, &t_in) in input.times().iter().enumerate() {
+        let big_t = out.last_time().map_or(f64::INFINITY, |tp| t_in - tp);
+        let d = delta(big_t, input.rising(k));
+        let t_out = t_in + d;
+        match out.last_time() {
+            Some(t_pending) if t_out <= t_pending => {
+                // Cancellation: the new transition catches up with the
+                // pending one; both vanish.
+                out.pop_time();
+            }
+            _ => out.push_time(t_out)?,
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

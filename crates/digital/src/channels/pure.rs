@@ -1,4 +1,4 @@
-use mis_waveform::DigitalTrace;
+use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
 use crate::channels::TraceTransform;
 use crate::SimError;
@@ -51,6 +51,15 @@ impl PureDelayChannel {
 impl TraceTransform for PureDelayChannel {
     fn apply(&self, input: &DigitalTrace) -> Result<DigitalTrace, SimError> {
         Ok(input.shifted(self.delay))
+    }
+
+    #[inline]
+    fn apply_into(&self, input: TraceRef<'_>, out: &mut EdgeBuf) -> Result<(), SimError> {
+        out.clear(input.initial_value());
+        for &t in input.times() {
+            out.push_time(t + self.delay)?;
+        }
+        Ok(())
     }
 
     fn name(&self) -> &str {

@@ -4,7 +4,7 @@
 //! (delay channels on the wires). These combinators implement the logic
 //! half: the output trace switches at exactly the input event times.
 
-use mis_waveform::DigitalTrace;
+use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
 use crate::SimError;
 
@@ -57,6 +57,59 @@ pub fn combine2<F: Fn(bool, bool) -> bool>(
         }
     }
     Ok(out)
+}
+
+/// The in-place twin of [`combine2`] on SoA views: a linear two-pointer
+/// merge of the (already sorted) input edge times, evaluating `f` at each
+/// distinct event instant and emitting an edge into `out` whenever the
+/// value changes. Replaces [`combine2`]'s sort + dedup + per-event binary
+/// searches with O(n) streaming and allocates nothing — the ideal-gate
+/// half of the fused gate + channel pass in `Network::run_in`.
+///
+/// Bit-identical to [`combine2`]: the emitted times are input times, and
+/// simultaneous edges on both inputs coalesce into one event.
+///
+/// # Errors
+///
+/// Returns [`SimError::Trace`] only on internal invariant violations
+/// (defensive; cannot trigger for well-formed inputs).
+#[inline]
+pub fn combine2_into<F: Fn(bool, bool) -> bool>(
+    f: F,
+    a: TraceRef<'_>,
+    b: TraceRef<'_>,
+    out: &mut EdgeBuf,
+) -> Result<(), SimError> {
+    let initial = f(a.initial_value(), b.initial_value());
+    out.clear(initial);
+    let (ta, tb) = (a.times(), b.times());
+    let (mut va, mut vb) = (a.initial_value(), b.initial_value());
+    let (mut i, mut j) = (0, 0);
+    let mut value = initial;
+    while i < ta.len() || j < tb.len() {
+        let t = match (ta.get(i), tb.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => unreachable!("loop condition"),
+        };
+        // Consume every edge at exactly t (edges take effect *at* their
+        // timestamp, and a tie on both inputs is one event).
+        while i < ta.len() && ta[i] <= t {
+            va = a.rising(i);
+            i += 1;
+        }
+        while j < tb.len() && tb[j] <= t {
+            vb = b.rising(j);
+            j += 1;
+        }
+        let v = f(va, vb);
+        if v != value {
+            out.push(t, v)?;
+            value = v;
+        }
+    }
+    Ok(())
 }
 
 /// Applies a unary Boolean function (NOT / BUF) to a trace.

@@ -28,6 +28,19 @@
 //! feed-forward circuits; [`accuracy`] implements the paper's Fig. 7
 //! deviation-area experiment end to end.
 //!
+//! # The arena hot path
+//!
+//! Every channel trait carries an in-place variant
+//! ([`TraceTransform::apply_into`] / [`TwoInputTransform::apply2_into`])
+//! over borrowed structure-of-arrays views, and
+//! [`Network::run_in`] evaluates a whole netlist into a reusable
+//! [`mis_waveform::TraceArena`]: input traces are copied into flat
+//! storage, each gate runs as a fused ideal-gate + channel pass through
+//! the arena's staging buffers, and a warm arena makes repeated
+//! evaluations allocation-free. [`Network::run`] remains as the
+//! allocating compatibility wrapper; [`netlists`] builds the benchmark
+//! circuits (ripple chains, the ISCAS-85 C17 cut, fan-out trees).
+//!
 //! # Examples
 //!
 //! A single NOR gate modeled three ways:
@@ -61,6 +74,7 @@ pub mod continuity;
 mod error;
 pub mod gates;
 pub mod involution;
+pub mod netlists;
 mod network;
 
 pub use channels::cached::{CachedHybridChannel, CachedHybridNandChannel};

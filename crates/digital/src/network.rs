@@ -1,4 +1,4 @@
-use mis_waveform::DigitalTrace;
+use mis_waveform::{DigitalTrace, TraceArena};
 
 use crate::channels::{TraceTransform, TwoInputTransform};
 use crate::{gates, SimError};
@@ -42,6 +42,19 @@ impl GateKind {
         match self {
             GateKind::Buf | GateKind::Not => 1,
             _ => 2,
+        }
+    }
+
+    /// The Boolean function of a binary gate; `None` for the unary kinds.
+    #[inline]
+    fn func2(self) -> Option<fn(bool, bool) -> bool> {
+        match self {
+            GateKind::Buf | GateKind::Not => None,
+            GateKind::And => Some(|x, y| x && y),
+            GateKind::Or => Some(|x, y| x || y),
+            GateKind::Nand => Some(|x, y| !(x && y)),
+            GateKind::Nor => Some(|x, y| !(x || y)),
+            GateKind::Xor => Some(|x, y| x ^ y),
         }
     }
 }
@@ -190,11 +203,62 @@ impl Network {
     /// returns one trace per signal (inputs included), indexable by
     /// [`SignalId`].
     ///
+    /// This is the allocating compatibility wrapper around
+    /// [`Network::run_in`]: it evaluates through a run-local
+    /// [`TraceArena`] and materializes every signal as an owned
+    /// [`DigitalTrace`]. Hot loops that evaluate the same network
+    /// repeatedly should hold a [`TraceArena`] and call
+    /// [`Network::run_in`] directly — a warm arena makes the whole
+    /// evaluation allocation-free.
+    ///
     /// # Errors
     ///
     /// * [`SimError::Network`] — wrong number of input traces.
     /// * Propagates channel failures.
     pub fn run(&self, inputs: &[DigitalTrace]) -> Result<Vec<DigitalTrace>, SimError> {
+        let mut arena = TraceArena::new();
+        self.run_in(inputs, &mut arena)?;
+        Ok((0..arena.trace_count())
+            .map(|i| arena.to_trace(i))
+            .collect())
+    }
+
+    /// Evaluates the network into `arena`: one sealed span per signal
+    /// (inputs included), indexed by [`SignalId::index`]. The arena is
+    /// reset first (capacity retained), so repeated calls with inputs of
+    /// similar edge counts perform **zero** heap allocations on the
+    /// steady-state path: input traces are copied into the flat
+    /// time array (not cloned), each `Source::Gate` runs as a fused
+    /// ideal-gate + channel pass through the arena's staging buffers
+    /// (unary gates skip the gate pass entirely — in the SoA
+    /// representation NOT is an initial-value flip), and every ported
+    /// channel writes its result in place.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Network`] — wrong number of input traces.
+    /// * Propagates channel failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mis_digital::{GateKind, InertialChannel, Network};
+    /// use mis_waveform::{DigitalTrace, TraceArena, units::ps};
+    ///
+    /// # fn main() -> Result<(), mis_digital::SimError> {
+    /// let mut net = Network::new();
+    /// let x = net.add_input("x");
+    /// let ch = Box::new(InertialChannel::symmetric(ps(30.0), ps(30.0))?);
+    /// let y = net.add_gate("y", GateKind::Not, &[x], Some(ch))?;
+    /// let input = DigitalTrace::with_edges(false, vec![(ps(100.0), true)])?;
+    /// let mut arena = TraceArena::new();
+    /// net.run_in(&[input], &mut arena)?; // warm-up sizes the arena
+    /// assert_eq!(arena.trace(y.index()).len(), 1);
+    /// assert!(!arena.trace(y.index()).rising(0));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run_in(&self, inputs: &[DigitalTrace], arena: &mut TraceArena) -> Result<(), SimError> {
         if inputs.len() != self.input_count {
             return Err(SimError::Network {
                 reason: format!(
@@ -204,37 +268,63 @@ impl Network {
                 ),
             });
         }
-        let mut traces: Vec<DigitalTrace> = Vec::with_capacity(self.sources.len());
+        arena.reset();
         for (i, source) in self.sources.iter().enumerate() {
-            let trace = match source {
-                Source::Input => inputs[i].clone(),
+            match source {
+                Source::Input => {
+                    arena.push_trace(&inputs[i]);
+                }
                 Source::Gate {
                     kind,
                     inputs: gin,
                     channel,
-                } => {
-                    let ideal = match kind {
-                        GateKind::Buf => gates::map1(|x| x, &traces[gin[0].0])?,
-                        GateKind::Not => gates::not(&traces[gin[0].0])?,
-                        GateKind::And => gates::and(&traces[gin[0].0], &traces[gin[1].0])?,
-                        GateKind::Or => gates::or(&traces[gin[0].0], &traces[gin[1].0])?,
-                        GateKind::Nand => gates::nand(&traces[gin[0].0], &traces[gin[1].0])?,
-                        GateKind::Nor => gates::nor(&traces[gin[0].0], &traces[gin[1].0])?,
-                        GateKind::Xor => gates::xor(&traces[gin[0].0], &traces[gin[1].0])?,
-                    };
-                    match channel {
-                        Some(ch) => ch.apply(&ideal)?,
-                        None => ideal,
+                } => match kind.func2() {
+                    None => {
+                        // Unary gate: the view itself is the ideal output.
+                        let invert = matches!(kind, GateKind::Not);
+                        match channel {
+                            None => {
+                                arena.push_duplicate(gin[0].0, invert);
+                            }
+                            Some(ch) => {
+                                let (sealed, out, _) = arena.stage();
+                                let mut view = sealed.trace(gin[0].0);
+                                if invert {
+                                    view = view.inverted();
+                                }
+                                ch.apply_into(view, out)?;
+                                arena.seal_out();
+                            }
+                        }
                     }
-                }
+                    Some(f) => {
+                        let (sealed, out, scratch) = arena.stage();
+                        let va = sealed.trace(gin[0].0);
+                        let vb = sealed.trace(gin[1].0);
+                        match channel {
+                            None => gates::combine2_into(f, va, vb, out)?,
+                            Some(ch) => {
+                                // Fused pass: the ideal trace streams
+                                // through the reusable scratch buffer and
+                                // never materializes as an owned trace.
+                                gates::combine2_into(f, va, vb, scratch)?;
+                                ch.apply_into(scratch.as_ref(), out)?;
+                            }
+                        }
+                        arena.seal_out();
+                    }
+                },
                 Source::TwoInputChannelGate {
                     inputs: gin,
                     channel,
-                } => channel.apply2(&traces[gin[0].0], &traces[gin[1].0])?,
-            };
-            traces.push(trace);
+                } => {
+                    let (sealed, out, _) = arena.stage();
+                    channel.apply2_into(sealed.trace(gin[0].0), sealed.trace(gin[1].0), out)?;
+                    arena.seal_out();
+                }
+            }
         }
-        Ok(traces)
+        Ok(())
     }
 
     fn check_refs(&self, name: &str, refs: &[SignalId]) -> Result<(), SimError> {

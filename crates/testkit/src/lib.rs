@@ -16,6 +16,10 @@
 //!   auto-calibrated timed iterations, median/p95 statistics and JSON
 //!   output for longitudinal `BENCH_*.json` tracking.
 //!
+//! With the `counting-alloc` feature, `alloc` additionally provides a
+//! thread-local counting `#[global_allocator]` wrapper so zero-allocation
+//! claims about hot paths are asserted in tests, not eyeballed.
+//!
 //! # Property-test quickstart
 //!
 //! ```
@@ -29,8 +33,14 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is forbidden everywhere except the opt-in counting-allocator
+// module, which must implement `GlobalAlloc` (an `unsafe` trait); that
+// module carries its own narrowly scoped `#[allow(unsafe_code)]`.
+#![cfg_attr(not(feature = "counting-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "counting-alloc", deny(unsafe_code))]
 
+#[cfg(feature = "counting-alloc")]
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 pub mod rng;

@@ -143,8 +143,16 @@ impl DigitalTrace {
     }
 
     /// Removes pulses shorter than `min_width` (an *inertial* filter),
-    /// returning the filtered trace. Cancellation is applied iteratively
-    /// until stable, matching the semantics of inertial delay channels.
+    /// returning the filtered trace. Cancellation cascades: removing a
+    /// glitch may merge its neighbours into a pulse that is itself too
+    /// short, matching the semantics of inertial delay channels.
+    ///
+    /// Implemented as a single stack pass (no clone of the edge vector,
+    /// no revalidation): a new edge forming a too-short pulse with the
+    /// last surviving edge annihilates together with it, re-exposing the
+    /// edge before — exactly the cascade of the iterative formulation.
+    /// Removing adjacent pairs preserves monotonicity and alternation, so
+    /// the result is constructed directly.
     ///
     /// # Errors
     ///
@@ -155,30 +163,33 @@ impl DigitalTrace {
                 reason: "min_width must be non-negative".into(),
             });
         }
-        let mut edges: Vec<Edge> = self.edges.clone();
-        loop {
-            let mut removed = false;
-            let mut i = 0;
-            while i + 1 < edges.len() {
-                if edges[i + 1].time - edges[i].time < min_width {
-                    // Cancel the pulse formed by edges i and i+1.
-                    edges.drain(i..=i + 1);
-                    removed = true;
-                    // Re-examine from the previous edge: the merge may have
-                    // created a new short pulse.
-                    i = i.saturating_sub(1);
-                } else {
-                    i += 1;
-                }
-            }
-            if !removed {
-                break;
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.edges.len());
+        for &e in &self.edges {
+            if edges.last().is_some_and(|p| e.time - p.time < min_width) {
+                edges.pop();
+            } else {
+                edges.push(e);
             }
         }
-        DigitalTrace::with_edges(
-            self.initial,
-            edges.into_iter().map(|e| (e.time, e.rising)).collect(),
-        )
+        Ok(DigitalTrace {
+            initial: self.initial,
+            edges,
+        })
+    }
+
+    /// Constructs a trace from pre-validated parts: `edges` must be
+    /// strictly increasing, finite, and alternating starting from
+    /// `initial` (checked in debug builds only). Used by the SoA arena
+    /// layer, whose representation guarantees the invariants.
+    #[must_use]
+    pub(crate) fn from_sorted_edges(initial: bool, edges: Vec<Edge>) -> Self {
+        debug_assert!(edges
+            .windows(2)
+            .all(|w| w[0].time < w[1].time && w[0].rising != w[1].rising));
+        debug_assert!(edges
+            .first()
+            .is_none_or(|e| e.time.is_finite() && e.rising != initial));
+        DigitalTrace { initial, edges }
     }
 
     /// Shifts every edge by `dt`.

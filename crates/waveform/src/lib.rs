@@ -12,6 +12,9 @@
 //!   of the absolute difference between two digitized traces.
 //! * [`generate`] — random input-trace generation matching the paper's
 //!   `µ/σ – LOCAL/GLOBAL` waveform configurations.
+//! * [`arena`] — structure-of-arrays trace storage ([`TraceArena`],
+//!   [`EdgeBuf`], [`TraceRef`]) for the allocation-free simulation hot
+//!   path of `mis-digital`.
 //!
 //! # Examples
 //!
@@ -35,11 +38,13 @@
 #![forbid(unsafe_code)]
 
 mod analog;
+pub mod arena;
 mod digital;
 mod error;
 pub mod generate;
 pub mod units;
 
 pub use analog::AnalogWaveform;
+pub use arena::{ArenaTraces, EdgeBuf, TraceArena, TraceRef};
 pub use digital::{deviation_area, DigitalTrace, Edge};
 pub use error::WaveformError;

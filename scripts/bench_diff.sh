@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Benchmark regression gate: re-runs the mis-bench suites (quick mode)
 # into a scratch directory and compares every committed BENCH_*.json
-# baseline id against the fresh results, failing on a >25 % regression
+# baseline id against the fresh results — the glob picks up all three
+# suites (model_kernels, channel_throughput, netlist_throughput), so a
+# newly committed BENCH_<suite>.json is gated automatically — failing
+# on a >25 % regression
 # (override with BENCH_DIFF_MAX_REGRESSION, a factor, e.g. 1.25). The
 # fresh side uses each benchmark's fastest sample so quick-mode
 # scheduling noise cannot flake the gate (see bench_diff.rs), and a

@@ -19,8 +19,14 @@ cargo test -q --workspace --offline
 # of the harness = false bench targets, diffed against the committed
 # BENCH_*.json baselines; >25 % median regression on any existing id
 # fails — see scripts/bench_diff.sh; refresh baselines with a full
-# `cargo bench -p mis-bench`). Enable with CI_BENCH=1.
+# `cargo bench -p mis-bench`). The same leg re-runs the counting-
+# allocator suite explicitly: the zero-allocation guarantee of the
+# arena engine is a performance invariant and belongs with the perf
+# gate (it also runs as part of the workspace tests above).
+# Enable with CI_BENCH=1.
 if [[ "${CI_BENCH:-0}" != "0" ]]; then
+    echo "== allocation-counter gate (crates/digital/tests/alloc.rs)"
+    cargo test -q -p mis-digital --test alloc --offline
     echo "== bench regression gate (scripts/bench_diff.sh)"
     scripts/bench_diff.sh
 fi
