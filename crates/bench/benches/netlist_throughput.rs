@@ -1,42 +1,55 @@
-//! Circuit-scale throughput of the arena engine: whole `Network`
-//! evaluations over multi-gate benchmark netlists (`mis_digital::netlists`),
-//! the workload of the interconnected-gates follow-up paper
-//! (Ferdowsi et al., arXiv:2403.10540).
+//! Circuit-scale throughput: whole netlist evaluations over multi-gate
+//! benchmark circuits, the workload of the interconnected-gates
+//! follow-up paper (Ferdowsi et al., arXiv:2403.10540).
 //!
-//! Three topologies with distinct event-flow shapes, each measured on the
-//! steady-state path (`Network::run_in` into a warm `TraceArena`, zero
-//! heap allocations — the property asserted by `crates/digital/tests/alloc.rs`):
+//! Two engines over the same circuits and channel objects:
 //!
-//! * `nor_chain8` — eight reconvergent NOR stages in series (serial event
-//!   propagation), under the cached hybrid MIS model and under the
-//!   zero-time-gate + inertial-channel baseline;
-//! * `c17` — the ISCAS-85 C17 six-NAND cut (fan-out + reconvergence),
-//!   cached hybrid vs inertial;
-//! * `fanout_tree_d4` — a depth-4 inverter tree (15 gates, pure fan-out)
-//!   with inertial channels.
+//! * `run_in` ids — `Network::run_in`, the levelized topological sweep
+//!   into a warm `TraceArena` (zero heap allocations, asserted by
+//!   `crates/digital/tests/alloc.rs`);
+//! * `sim` ids — `mis_sim::Simulator::run_in`, the event-queue engine
+//!   (dependency counting + time-ordered ready heap over the same fused
+//!   kernels; zero allocations asserted by `crates/sim/tests/alloc.rs`).
+//!   The gap between a `sim` id and its `run_in` twin is the price of
+//!   event-queue scheduling — the cost the paper's full-simulator
+//!   setting actually measures.
 //!
-//! The `run_alloc` ids measure the same circuits through the legacy
-//! allocating `Network::run` wrapper (fresh arena + owned trace export
-//! per call): the gap to the `run_in` twin is the price of allocation
-//! the warm arena amortizes away — large relative to the cheap inertial
-//! kernels, small relative to the cached hybrid's own scheduling work.
+//! Circuits: the eight-stage reconvergent NOR chain and the ISCAS-85
+//! C17 cut (from `mis_digital::netlists`), the depth-4 inverter tree,
+//! and the committed C432-scale `.bench` fixture (36 inputs, 132 gates,
+//! `data/bench/c432.bench`) under both the Arc-shared cached-hybrid
+//! cell library and the inertial baseline. The characterized NOR tables
+//! come from the committed `data/charlib/nor_paper.mislib` — no
+//! re-characterization at bench startup.
+//!
+//! The `run_alloc` ids measure the legacy allocating `Network::run`
+//! wrapper; the gap to the `run_in` twin is the allocation cost a warm
+//! arena amortizes away.
 //!
 //! Runs on the in-repo `mis-testkit` bench harness; JSON results land in
 //! `BENCH_netlist_throughput.json`.
 
-use mis_charlib::{CharConfig, CharLib};
-use mis_core::NorParams;
-use mis_digital::netlists::{self, BuiltNetlist, CachedHybridFactory, ChannelPerGate};
-use mis_digital::{GateKind, InertialChannel, TraceTransform};
+use std::path::PathBuf;
+
+use mis_charlib::CharLib;
+use mis_digital::netlists::{self, CachedHybridFactory, ChannelPerGate};
+use mis_digital::{GateKind, InertialChannel, Network, TraceTransform};
+use mis_sim::{BenchNetlist, CellLibrary, Simulator};
 use mis_testkit::bench::Harness;
 use mis_waveform::generate::{Assignment, TraceConfig};
 use mis_waveform::units::ps;
 use mis_waveform::{DigitalTrace, TraceArena};
 
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn inertial_proto() -> InertialChannel {
+    InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel")
+}
+
 fn inertial() -> Option<Box<dyn TraceTransform>> {
-    Some(Box::new(
-        InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel"),
-    ))
+    Some(Box::new(inertial_proto()))
 }
 
 /// Two 100-transition-per-input streams (the netlists re-use input `b`
@@ -48,11 +61,59 @@ fn pair_inputs(seed: u64) -> Vec<DigitalTrace> {
     vec![pair.a, pair.b]
 }
 
+/// One moderately busy stream per primary input (C432's 36 inputs).
+fn wide_inputs(n: usize, seed: u64) -> Vec<DigitalTrace> {
+    (0..n)
+        .map(|i| {
+            let pair = TraceConfig::new(ps(400.0), ps(150.0), Assignment::Local, 40)
+                .generate(seed + i as u64)
+                .expect("trace generation");
+            if i % 2 == 0 {
+                pair.a
+            } else {
+                pair.b
+            }
+        })
+        .collect()
+}
+
+/// Benchmarks one steady-state `Network::run_in` sweep on a warm arena.
+fn bench_run_in(
+    h: &mut Harness,
+    arena: &mut TraceArena,
+    id: &str,
+    net: &Network,
+    inputs: &[DigitalTrace],
+) {
+    net.run_in(inputs, arena).expect("warm-up run");
+    h.bench(id, || {
+        net.run_in(inputs, arena).expect("run_in");
+        arena.total_edges()
+    });
+}
+
+/// Benchmarks one steady-state event-queue evaluation on a warm arena.
+fn bench_sim(
+    h: &mut Harness,
+    arena: &mut TraceArena,
+    id: &str,
+    net: &Network,
+    inputs: &[DigitalTrace],
+) {
+    let mut sim = Simulator::new(net);
+    sim.run_in(inputs, arena).expect("warm-up run");
+    h.bench(id, move || {
+        sim.run_in(inputs, arena).expect("sim run");
+        arena.total_edges()
+    });
+}
+
 fn main() {
     let mut h = Harness::from_args("netlist_throughput");
 
-    let lib =
-        CharLib::nor(&NorParams::paper_table1(), &CharConfig::default()).expect("characterization");
+    let lib_text = std::fs::read_to_string(workspace_root().join("data/charlib/nor_paper.mislib"))
+        .expect("committed NOR library (regenerate: cargo run -p mis-bench --bin make_data)");
+    let lib = CharLib::from_text(&lib_text).expect("committed library parses");
     let mut cached = CachedHybridFactory::new(&lib).expect("factory");
 
     let chain_cached = netlists::ripple_chain(GateKind::Nor, 8, &mut cached).expect("netlist");
@@ -61,6 +122,19 @@ fn main() {
     let c17_cached = netlists::c17(&mut cached).expect("netlist");
     let c17_inertial = netlists::c17(&mut ChannelPerGate(inertial)).expect("netlist");
     let tree = netlists::fanout_tree(4, &mut inertial).expect("netlist");
+
+    let c432_text = std::fs::read_to_string(workspace_root().join("data/bench/c432.bench"))
+        .expect("committed c432 fixture");
+    let c432 = BenchNetlist::parse(&c432_text).expect("fixture parses");
+    let c432_cached = c432
+        .lower(&CellLibrary::hybrid_shared(
+            std::sync::Arc::clone(cached.shared()),
+            Some(inertial_proto()),
+        ))
+        .expect("lowering");
+    let c432_inertial = c432
+        .lower(&CellLibrary::inertial(inertial_proto()))
+        .expect("lowering");
 
     let chain_in = pair_inputs(0xc4a1);
     let c17_in: Vec<DigitalTrace> = vec![
@@ -71,27 +145,85 @@ fn main() {
         pair_inputs(0xc1b).remove(0),
     ];
     let tree_in = vec![pair_inputs(0x7ee).remove(0)];
+    let c432_in = wide_inputs(36, 0x432);
 
     let mut arena = TraceArena::new();
-    let mut run_in = |h: &mut Harness, id: &str, built: &BuiltNetlist, inputs: &[DigitalTrace]| {
-        built.net.run_in(inputs, &mut arena).expect("warm-up run");
-        let arena = &mut arena;
-        h.bench(id, move || {
-            built.net.run_in(inputs, arena).expect("run_in");
-            arena.total_edges()
-        });
-    };
 
-    run_in(&mut h, "nor_chain8_cached/run_in", &chain_cached, &chain_in);
-    run_in(
+    bench_run_in(
         &mut h,
-        "nor_chain8_inertial/run_in",
-        &chain_inertial,
+        &mut arena,
+        "nor_chain8_cached/run_in",
+        &chain_cached.net,
         &chain_in,
     );
-    run_in(&mut h, "c17_cached/run_in", &c17_cached, &c17_in);
-    run_in(&mut h, "c17_inertial/run_in", &c17_inertial, &c17_in);
-    run_in(&mut h, "fanout_tree_d4_inertial/run_in", &tree, &tree_in);
+    bench_run_in(
+        &mut h,
+        &mut arena,
+        "nor_chain8_inertial/run_in",
+        &chain_inertial.net,
+        &chain_in,
+    );
+    bench_run_in(
+        &mut h,
+        &mut arena,
+        "c17_cached/run_in",
+        &c17_cached.net,
+        &c17_in,
+    );
+    bench_run_in(
+        &mut h,
+        &mut arena,
+        "c17_inertial/run_in",
+        &c17_inertial.net,
+        &c17_in,
+    );
+    bench_run_in(
+        &mut h,
+        &mut arena,
+        "fanout_tree_d4_inertial/run_in",
+        &tree.net,
+        &tree_in,
+    );
+
+    // The event-queue engine over the same circuits and channels: the
+    // sweep-vs-queue comparison at identical outputs (bit-identity is
+    // property-tested in crates/sim).
+    bench_sim(
+        &mut h,
+        &mut arena,
+        "c17_cached/sim",
+        &c17_cached.net,
+        &c17_in,
+    );
+    bench_sim(
+        &mut h,
+        &mut arena,
+        "c432_cached/sim",
+        &c432_cached.net,
+        &c432_in,
+    );
+    bench_sim(
+        &mut h,
+        &mut arena,
+        "c432_inertial/sim",
+        &c432_inertial.net,
+        &c432_in,
+    );
+
+    bench_run_in(
+        &mut h,
+        &mut arena,
+        "c432_cached/run_in",
+        &c432_cached.net,
+        &c432_in,
+    );
+    bench_run_in(
+        &mut h,
+        &mut arena,
+        "c432_inertial/run_in",
+        &c432_inertial.net,
+        &c432_in,
+    );
 
     h.bench("nor_chain8_cached/run_alloc", || {
         chain_cached.net.run(&chain_in).expect("run").len()

@@ -1,0 +1,178 @@
+//! Regenerates the committed artifacts under `data/`:
+//!
+//! * `data/charlib/nor_paper.mislib` — the paper-Table-1 NOR gate
+//!   characterized at the default budget (`CharConfig::default`), in the
+//!   bit-exact `mis-charlib` text form;
+//! * `data/charlib/nand_dual.mislib` — the dual NAND gate characterized
+//!   the same way;
+//! * `data/bench/c432.bench` — the C432-scale benchmark circuit (see
+//!   below), emitted through the canonical `mis-sim` `.bench` writer.
+//!
+//! The committed files let benches, examples and tests skip
+//! re-characterization; this binary exists so they stay reproducible.
+//! Run from anywhere inside the workspace:
+//! `cargo run --release -p mis-bench --bin make_data`
+//!
+//! # The C432-scale circuit
+//!
+//! The original ISCAS-85 C432 is a 36-input, 7-output priority-channel
+//! interrupt controller. Its gate-level distribution file is not
+//! redistributable from memory, so the committed fixture is a
+//! **structural reconstruction** of that controller (after the
+//! behavioral description in Hansen, Yalcin, Hayes, *"Unveiling the
+//! ISCAS-85 benchmarks"*, IEEE D&T 1999), not the byte-identical
+//! original: four 9-bit input buses (enable E, requests A > B > C),
+//! per-bus grant outputs `PA`/`PB`/`PC`, and a 4-bit winning-channel
+//! address `CHAN3..CHAN0`. It matches the original's scale and shape
+//! where the simulator cares: 36 inputs, 7 outputs, 132 gates spanning
+//! NOT/NOR/NAND/AND/OR/XOR/BUFF with fan-in up to nine, deep
+//! reconvergent fan-out, and one-hot priority logic.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mis_charlib::{CharConfig, CharLib};
+use mis_core::nand::NandParams;
+use mis_core::NorParams;
+use mis_sim::{BenchFunc, BenchGate, BenchNetlist};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn write_file(path: &Path, contents: &str) {
+    fs::create_dir_all(path.parent().expect("data subdirectory")).expect("create data dir");
+    fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let root = workspace_root();
+    let cfg = CharConfig::default();
+
+    println!("characterizing NOR (paper Table 1, default budget)...");
+    let nor = CharLib::nor(&NorParams::paper_table1(), &cfg).expect("NOR characterization");
+    write_file(&root.join("data/charlib/nor_paper.mislib"), &nor.to_text());
+
+    println!("characterizing dual NAND...");
+    let nand = CharLib::nand(&NandParams::from_dual(NorParams::paper_table1()), &cfg)
+        .expect("NAND characterization");
+    write_file(&root.join("data/charlib/nand_dual.mislib"), &nand.to_text());
+
+    let c432 = c432_reconstruction();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "# c432 — C432-scale priority-channel interrupt controller.\n\
+         # Structural reconstruction after Hansen/Yalcin/Hayes (1999); NOT the\n\
+         # byte-identical ISCAS-85 distribution netlist. {} inputs, {} outputs,\n\
+         # {} gates, fan-in up to 9. Regenerate: cargo run -p mis-bench --bin make_data",
+        c432.inputs().len(),
+        c432.outputs().len(),
+        c432.gates().len()
+    );
+    text.push_str(&c432.to_text());
+    write_file(&root.join("data/bench/c432.bench"), &text);
+}
+
+/// Builds the C432-scale interrupt controller: enable bus `E`, request
+/// buses `A` (highest priority) > `B` > `C`, channel 0 beats channel 8
+/// within a bus. One-hot grants feed an XOR-tree address encoder (over
+/// one-hot signals XOR ≡ OR, so the parity trees are exact).
+fn c432_reconstruction() -> BenchNetlist {
+    let mut inputs = Vec::new();
+    let mut gates: Vec<BenchGate> = Vec::new();
+    let mut gate = |output: &str, func: BenchFunc, ops: &[String]| {
+        gates.push(BenchGate {
+            output: output.to_owned(),
+            func,
+            inputs: ops.to_vec(),
+        });
+    };
+    let bus = |name: &str, i: usize| format!("{name}{i}");
+    for b in ["E", "A", "B", "C"] {
+        for i in 0..9 {
+            inputs.push(bus(b, i));
+        }
+    }
+    // Input inverters (the original's 36-inverter front rank).
+    for b in ["E", "A", "B", "C"] {
+        for i in 0..9 {
+            gate(&format!("N{b}{i}"), BenchFunc::Not, &[bus(b, i)]);
+        }
+    }
+    // Enabled requests per bus: V<bus>i = <bus>i AND Ei, in NOR form.
+    for b in ["A", "B", "C"] {
+        for i in 0..9 {
+            gate(
+                &format!("V{b}{i}"),
+                BenchFunc::Nor,
+                &[format!("N{b}{i}"), format!("NE{i}")],
+            );
+        }
+    }
+    // Bus-level "no request" (9-input NORs) and the priority grants.
+    for b in ["A", "B", "C"] {
+        let all: Vec<String> = (0..9).map(|i| format!("V{b}{i}")).collect();
+        gate(&format!("NONE{b}"), BenchFunc::Nor, &all);
+    }
+    gate("PA", BenchFunc::Not, &["NONEA".into()]);
+    gate("NNONEB", BenchFunc::Not, &["NONEB".into()]);
+    gate("PB", BenchFunc::And, &["NONEA".into(), "NNONEB".into()]);
+    gate("NNONEC", BenchFunc::Not, &["NONEC".into()]);
+    gate(
+        "PC",
+        BenchFunc::And,
+        &["NONEA".into(), "NONEB".into(), "NNONEC".into()],
+    );
+    // Winning-bus request per channel, alternating AND/OR and NAND/NAND
+    // forms (same Boolean function by De Morgan; mixes the gate census).
+    for i in 0..9 {
+        let (leaf, root) = if i % 2 == 0 {
+            (BenchFunc::And, BenchFunc::Or)
+        } else {
+            (BenchFunc::Nand, BenchFunc::Nand)
+        };
+        for (b, grant) in [("A", "PA"), ("B", "PB"), ("C", "PC")] {
+            gate(
+                &format!("R{b}{i}"),
+                leaf,
+                &[format!("V{b}{i}"), grant.into()],
+            );
+        }
+        gate(
+            &format!("R{i}"),
+            root,
+            &[format!("RA{i}"), format!("RB{i}"), format!("RC{i}")],
+        );
+    }
+    // Within-bus priority: channel i wins iff it requests and no lower
+    // channel does.
+    gate("M1", BenchFunc::Not, &["R0".into()]);
+    for i in 2..9 {
+        let lower: Vec<String> = (0..i).map(|j| format!("R{j}")).collect();
+        gate(&format!("M{i}"), BenchFunc::Nor, &lower);
+    }
+    for i in 1..9 {
+        gate(
+            &format!("G{i}"),
+            BenchFunc::And,
+            &[format!("R{i}"), format!("M{i}")],
+        );
+    }
+    // One-hot to binary address through XOR trees (XOR ≡ OR on one-hot).
+    gate("T13", BenchFunc::Xor, &["G1".into(), "G3".into()]);
+    gate("T57", BenchFunc::Xor, &["G5".into(), "G7".into()]);
+    gate("CHAN0", BenchFunc::Xor, &["T13".into(), "T57".into()]);
+    gate("T23", BenchFunc::Xor, &["G2".into(), "G3".into()]);
+    gate("T67", BenchFunc::Xor, &["G6".into(), "G7".into()]);
+    gate("CHAN1", BenchFunc::Xor, &["T23".into(), "T67".into()]);
+    gate("T45", BenchFunc::Xor, &["G4".into(), "G5".into()]);
+    gate("CHAN2", BenchFunc::Xor, &["T45".into(), "T67".into()]);
+    gate("CHAN3", BenchFunc::Buff, &["G8".into()]);
+    let outputs = ["PA", "PB", "PC", "CHAN3", "CHAN2", "CHAN1", "CHAN0"]
+        .map(String::from)
+        .to_vec();
+    BenchNetlist::new(inputs, outputs, gates).expect("reconstruction is well-formed")
+}

@@ -2,6 +2,8 @@
 //! channel that schedules output transitions from `mis-charlib` lookup
 //! tables instead of re-solving the delay equation per event.
 
+use std::sync::Arc;
+
 use mis_charlib::{CharGate, CharLib, SurfaceFamily};
 use mis_core::{Mode, ModeConstants, ModeSystem, ModeTrajectory, NorParams};
 use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
@@ -723,9 +725,13 @@ impl TwoInputTransform for CachedHybridChannel {
 /// inverted, pushed through the cached *dual NOR* channel, and the output
 /// is inverted back. Consumes a characterized **NOR** library for the
 /// dual parameter set.
+///
+/// The dual NOR tables are held behind an [`Arc`], so cloning this
+/// channel — one clone per NAND gate instance in a netlist — shares one
+/// resampled table set instead of copying ~20 KiB per gate.
 #[derive(Debug, Clone)]
 pub struct CachedHybridNandChannel {
-    inner: CachedHybridChannel,
+    inner: Arc<CachedHybridChannel>,
 }
 
 impl CachedHybridNandChannel {
@@ -743,7 +749,21 @@ impl CachedHybridNandChannel {
     /// characterization across many gate instances).
     #[must_use]
     pub fn from_nor(inner: CachedHybridChannel) -> Self {
+        Self::from_shared(Arc::new(inner))
+    }
+
+    /// Wraps an already-shared dual NOR channel without re-wrapping: the
+    /// NAND adapter and every cached NOR gate built from the same
+    /// [`Arc`] reference one table set.
+    #[must_use]
+    pub fn from_shared(inner: Arc<CachedHybridChannel>) -> Self {
         CachedHybridNandChannel { inner }
+    }
+
+    /// The shared dual NOR tables.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<CachedHybridChannel> {
+        &self.inner
     }
 }
 

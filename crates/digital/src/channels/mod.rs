@@ -75,6 +75,44 @@ pub trait TwoInputTransform {
     fn name(&self) -> &str;
 }
 
+// Channels behind shared pointers are channels too: one characterized
+// table set (`Arc<CachedHybridChannel>` is ~20 KiB of resampled surfaces)
+// can drive every gate instance of a cell type, instead of each instance
+// carrying its own flat copy. This is what cell libraries hand to
+// `Network` — `Box::new(Arc::clone(&tables))` costs one refcount bump.
+impl<T: TraceTransform + ?Sized> TraceTransform for std::sync::Arc<T> {
+    fn apply(&self, input: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+        (**self).apply(input)
+    }
+
+    fn apply_into(&self, input: TraceRef<'_>, out: &mut EdgeBuf) -> Result<(), SimError> {
+        (**self).apply_into(input, out)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: TwoInputTransform + ?Sized> TwoInputTransform for std::sync::Arc<T> {
+    fn apply2(&self, a: &DigitalTrace, b: &DigitalTrace) -> Result<DigitalTrace, SimError> {
+        (**self).apply2(a, b)
+    }
+
+    fn apply2_into(
+        &self,
+        a: TraceRef<'_>,
+        b: TraceRef<'_>,
+        out: &mut EdgeBuf,
+    ) -> Result<(), SimError> {
+        (**self).apply2_into(a, b, out)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Runs the IDM single-history channel algorithm over an input trace,
 /// given a delay function `delta(T, rising)` where `T` is the time from
 /// the *previous scheduled output transition* to the current input edge

@@ -86,4 +86,4 @@ pub use channels::pure::PureDelayChannel;
 pub use channels::sumexp::SumExpChannel;
 pub use channels::{TraceTransform, TwoInputTransform};
 pub use error::SimError;
-pub use network::{GateKind, Network, SignalId};
+pub use network::{GateKind, Network, SignalId, SignalSource};

@@ -19,6 +19,8 @@
 //! ([`CachedHybridFactory`]). The same topology can therefore be timed
 //! under every delay model the workspace implements.
 
+use std::sync::Arc;
+
 use mis_charlib::CharLib;
 
 use crate::channels::{TraceTransform, TwoInputTransform};
@@ -75,14 +77,15 @@ impl<F: FnMut() -> Option<Box<dyn TraceTransform>>> GateFactory for ChannelPerGa
 
 /// Realizes NOR and NAND gates as cached hybrid two-input channel gates
 /// built from one characterized NOR library (NAND through the analog
-/// duality). The library is resampled **once** at factory construction;
-/// each gate clones the prototype channel (a flat copy of the ~20 KiB
-/// tables) instead of re-running the table validation per instance.
-/// Other gate kinds are rejected — the hybrid model exists for the
-/// coupled pull-up/pull-down gates only.
+/// duality). The library is resampled **once** at factory construction
+/// and held behind an [`Arc`]: every gate instance added by the factory
+/// references the same ~20 KiB table set (a refcount bump per gate, not
+/// a flat copy — at C432 scale the sharing is what keeps the resampled
+/// surfaces cache-resident). Other gate kinds are rejected — the hybrid
+/// model exists for the coupled pull-up/pull-down gates only.
 #[derive(Debug, Clone)]
 pub struct CachedHybridFactory {
-    nor: CachedHybridChannel,
+    nor: Arc<CachedHybridChannel>,
     nand: CachedHybridNandChannel,
 }
 
@@ -93,9 +96,21 @@ impl CachedHybridFactory {
     ///
     /// Returns [`SimError::Network`] for a non-NOR library.
     pub fn new(lib: &CharLib) -> Result<Self, SimError> {
-        let nor = CachedHybridChannel::new(lib)?;
-        let nand = CachedHybridNandChannel::from_nor(nor.clone());
-        Ok(CachedHybridFactory { nor, nand })
+        Ok(Self::from_shared(Arc::new(CachedHybridChannel::new(lib)?)))
+    }
+
+    /// Creates the factory around an already-shared table set (the same
+    /// `Arc` a `mis-sim` cell library hands out), adding no copies.
+    #[must_use]
+    pub fn from_shared(nor: Arc<CachedHybridChannel>) -> Self {
+        let nand = CachedHybridNandChannel::from_shared(Arc::clone(&nor));
+        CachedHybridFactory { nor, nand }
+    }
+
+    /// The shared NOR table set driving every gate this factory adds.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<CachedHybridChannel> {
+        &self.nor
     }
 }
 
@@ -109,7 +124,7 @@ impl GateFactory for CachedHybridFactory {
         b: SignalId,
     ) -> Result<SignalId, SimError> {
         let channel: Box<dyn TwoInputTransform> = match kind {
-            GateKind::Nor => Box::new(self.nor.clone()),
+            GateKind::Nor => Box::new(Arc::clone(&self.nor)),
             GateKind::Nand => Box::new(self.nand.clone()),
             other => {
                 return Err(SimError::Network {

@@ -46,8 +46,11 @@ impl GateKind {
     }
 
     /// The Boolean function of a binary gate; `None` for the unary kinds.
+    /// Exposed so external evaluators (the `mis-sim` event engine) run the
+    /// exact same fused gate kernels as [`Network::run_in`].
     #[inline]
-    fn func2(self) -> Option<fn(bool, bool) -> bool> {
+    #[must_use]
+    pub fn func2(self) -> Option<fn(bool, bool) -> bool> {
         match self {
             GateKind::Buf | GateKind::Not => None,
             GateKind::And => Some(|x, y| x && y),
@@ -69,6 +72,32 @@ enum Source {
     TwoInputChannelGate {
         inputs: [SignalId; 2],
         channel: Box<dyn TwoInputTransform>,
+    },
+}
+
+/// A borrowed view of how one signal in a [`Network`] is produced,
+/// returned by [`Network::source`]. This is what lets external engines
+/// (the `mis-sim` event-queue evaluator) walk a network's topology and
+/// re-run its gates through the very same channel objects, guaranteeing
+/// bit-identical per-gate results.
+pub enum SignalSource<'a> {
+    /// A primary input.
+    Input,
+    /// A zero-time gate with an optional single-input output channel.
+    Gate {
+        /// The Boolean gate function.
+        kind: GateKind,
+        /// Fan-in signals (`kind.arity()` of them).
+        inputs: &'a [SignalId],
+        /// The delay channel on the gate output, if any.
+        channel: Option<&'a dyn TraceTransform>,
+    },
+    /// A gate realized entirely by a two-input channel.
+    TwoInputChannelGate {
+        /// Fan-in signals.
+        inputs: [SignalId; 2],
+        /// The channel providing both function and timing.
+        channel: &'a dyn TwoInputTransform,
     },
 }
 
@@ -187,6 +216,45 @@ impl Network {
     #[must_use]
     pub fn input_count(&self) -> usize {
         self.input_count
+    }
+
+    /// Total number of signals (inputs and gates).
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The [`SignalId`] of the `index`-th declared signal, or `None` when
+    /// out of range. Signals are indexed in declaration order (inputs
+    /// first), matching [`SignalId::index`].
+    #[must_use]
+    pub fn signal_id(&self, index: usize) -> Option<SignalId> {
+        (index < self.sources.len()).then_some(SignalId(index))
+    }
+
+    /// A borrowed view of how signal `id` is produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign [`SignalId`].
+    #[must_use]
+    pub fn source(&self, id: SignalId) -> SignalSource<'_> {
+        match &self.sources[id.0] {
+            Source::Input => SignalSource::Input,
+            Source::Gate {
+                kind,
+                inputs,
+                channel,
+            } => SignalSource::Gate {
+                kind: *kind,
+                inputs,
+                channel: channel.as_deref(),
+            },
+            Source::TwoInputChannelGate { inputs, channel } => SignalSource::TwoInputChannelGate {
+                inputs: *inputs,
+                channel: &**channel,
+            },
+        }
     }
 
     /// The name of a signal.

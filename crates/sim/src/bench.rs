@@ -1,0 +1,702 @@
+//! ISCAS-85 `.bench` netlist ingestion: parser, writer, and lowering
+//! onto the [`mis_digital::Network`] builder.
+//!
+//! The `.bench` format is the lingua franca of the ISCAS benchmark
+//! distributions — line-oriented, with `INPUT(x)` / `OUTPUT(y)`
+//! declarations and `z = FUNC(a, b, ...)` gate definitions, `#` comments,
+//! and no ordering requirement (gates may reference signals defined
+//! later in the file). [`BenchNetlist::parse`] accepts that full
+//! generality; [`BenchNetlist::lower`] topologically sorts the gates and
+//! emits a feed-forward [`Network`] (which *does* require declaration
+//! order) with one timed cell per `.bench` gate.
+//!
+//! Fan-in beyond two is reduced through balanced trees of **zero-time**
+//! gates, with the cell — the gate that carries the delay model — at the
+//! root: an n-ary `NAND` becomes ideal `AND` subtrees feeding one
+//! [`CellLibrary`]-realized `NAND2`, so every `.bench` gate contributes
+//! exactly one channel's worth of delay regardless of width. `XNOR`
+//! lowers as an ideal `XOR` tree with a celled `NOT` root.
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_sim::{BenchNetlist, CellLibrary};
+//! use mis_waveform::DigitalTrace;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//!     INPUT(a)
+//!     INPUT(b)
+//!     OUTPUT(y)
+//!     y = NAND(a, b)  # one gate
+//! ";
+//! let parsed = BenchNetlist::parse(src)?;
+//! assert_eq!(parsed.inputs().len(), 2);
+//! let lowered = parsed.lower(&CellLibrary::ideal())?;
+//! let a = DigitalTrace::constant(true);
+//! let b = DigitalTrace::constant(true);
+//! let traces = lowered.net.run(&[a, b])?;
+//! assert!(!traces[lowered.outputs[0].index()].initial_value());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use mis_digital::{GateKind, Network, SignalId};
+
+use crate::cells::CellLibrary;
+use crate::error::BenchError;
+
+/// A gate function the `.bench` format can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchFunc {
+    /// n-ary AND.
+    And,
+    /// n-ary OR.
+    Or,
+    /// n-ary NAND.
+    Nand,
+    /// n-ary NOR.
+    Nor,
+    /// n-ary XOR (odd parity).
+    Xor,
+    /// n-ary XNOR (even parity).
+    Xnor,
+    /// Unary inverter.
+    Not,
+    /// Unary buffer.
+    Buff,
+}
+
+impl BenchFunc {
+    /// Parses a (case-insensitive) function name; `BUF` is accepted as a
+    /// synonym for `BUFF`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        let n = name.to_ascii_uppercase();
+        Some(match n.as_str() {
+            "AND" => BenchFunc::And,
+            "OR" => BenchFunc::Or,
+            "NAND" => BenchFunc::Nand,
+            "NOR" => BenchFunc::Nor,
+            "XOR" => BenchFunc::Xor,
+            "XNOR" => BenchFunc::Xnor,
+            "NOT" => BenchFunc::Not,
+            "BUF" | "BUFF" => BenchFunc::Buff,
+            _ => return None,
+        })
+    }
+
+    /// The canonical upper-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchFunc::And => "AND",
+            BenchFunc::Or => "OR",
+            BenchFunc::Nand => "NAND",
+            BenchFunc::Nor => "NOR",
+            BenchFunc::Xor => "XOR",
+            BenchFunc::Xnor => "XNOR",
+            BenchFunc::Not => "NOT",
+            BenchFunc::Buff => "BUFF",
+        }
+    }
+
+    /// Whether the function takes exactly one operand.
+    #[must_use]
+    pub fn is_unary(self) -> bool {
+        matches!(self, BenchFunc::Not | BenchFunc::Buff)
+    }
+}
+
+/// One `z = FUNC(a, b, ...)` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchGate {
+    /// The driven signal.
+    pub output: String,
+    /// The gate function.
+    pub func: BenchFunc,
+    /// Operand signal names, in written order.
+    pub inputs: Vec<String>,
+}
+
+/// A parsed `.bench` netlist: declarations and definitions in file
+/// order, structurally validated (no duplicates, no dangling references,
+/// no combinational cycles) but not yet lowered to a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchNetlist {
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    gates: Vec<BenchGate>,
+    /// Gate indices in topological order, computed once at validation
+    /// (a pure function of `gates`, so derived equality stays an
+    /// equality of the declarations).
+    topo: Vec<usize>,
+}
+
+/// A `.bench` netlist lowered onto the [`Network`] builder.
+#[derive(Debug)]
+pub struct LoweredNetlist {
+    /// The feed-forward network (gates in topological order; fan-in
+    /// reduction trees interleaved before their roots).
+    pub net: Network,
+    /// Primary inputs, in `INPUT` declaration order.
+    pub inputs: Vec<SignalId>,
+    /// Designated outputs, in `OUTPUT` declaration order.
+    pub outputs: Vec<SignalId>,
+}
+
+impl BenchNetlist {
+    /// Assembles and validates a netlist from its parts (the programmatic
+    /// twin of [`BenchNetlist::parse`], used e.g. by fixture generators).
+    ///
+    /// # Errors
+    ///
+    /// The same semantic violations `parse` reports — [`BenchError::Empty`],
+    /// [`BenchError::Duplicate`] (line 0), [`BenchError::Undefined`],
+    /// [`BenchError::BadArity`] (line 0), [`BenchError::Syntax`] (line 0,
+    /// for names the text form cannot carry), [`BenchError::Cycle`].
+    pub fn new(
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+        gates: Vec<BenchGate>,
+    ) -> Result<Self, BenchError> {
+        for g in &gates {
+            check_arity(0, g.func, g.inputs.len())?;
+        }
+        BenchNetlist {
+            inputs,
+            outputs,
+            gates,
+            topo: Vec::new(),
+        }
+        .validated()
+    }
+
+    /// Primary input names, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Output names, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Gate definitions, in file order.
+    #[must_use]
+    pub fn gates(&self) -> &[BenchGate] {
+        &self.gates
+    }
+
+    /// Parses `.bench` text. Blank lines and `#` comments (whole-line or
+    /// trailing) are ignored; `INPUT`/`OUTPUT` and function names are
+    /// case-insensitive; whitespace is free around every token.
+    ///
+    /// # Errors
+    ///
+    /// One [`BenchError`] variant per malformed-input class — see the
+    /// variant docs.
+    pub fn parse(text: &str) -> Result<Self, BenchError> {
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut gates: Vec<BenchGate> = Vec::new();
+        let mut defined_at: HashMap<String, usize> = HashMap::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = no + 1;
+            // Strip trailing comment, then surrounding whitespace.
+            let code = raw.split('#').next().unwrap_or("").trim();
+            if code.is_empty() {
+                continue;
+            }
+            if let Some(eq) = code.find('=') {
+                let name = code[..eq].trim();
+                check_signal_name(line, name)?;
+                let (func_name, args) = parse_call(line, code[eq + 1..].trim())?;
+                let func =
+                    BenchFunc::from_name(func_name).ok_or_else(|| BenchError::UnknownFunction {
+                        line,
+                        name: func_name.to_owned(),
+                    })?;
+                check_arity(line, func, args.len())?;
+                if defined_at.insert(name.to_owned(), line).is_some() {
+                    return Err(BenchError::Duplicate {
+                        line,
+                        name: name.to_owned(),
+                    });
+                }
+                gates.push(BenchGate {
+                    output: name.to_owned(),
+                    func,
+                    inputs: args.iter().map(|&a| a.to_owned()).collect(),
+                });
+            } else {
+                let (kw, args) = parse_call(line, code)?;
+                let name = match (kw.to_ascii_uppercase().as_str(), args.as_slice()) {
+                    ("INPUT", [name]) | ("OUTPUT", [name]) => *name,
+                    ("INPUT" | "OUTPUT", _) => {
+                        return Err(BenchError::Syntax {
+                            line,
+                            reason: format!("{kw} takes exactly one signal name"),
+                        })
+                    }
+                    _ => {
+                        return Err(BenchError::Syntax {
+                            line,
+                            reason: format!("expected INPUT/OUTPUT declaration, got '{kw}(...)'"),
+                        })
+                    }
+                };
+                if kw.eq_ignore_ascii_case("INPUT") {
+                    if defined_at.insert(name.to_owned(), line).is_some() {
+                        return Err(BenchError::Duplicate {
+                            line,
+                            name: name.to_owned(),
+                        });
+                    }
+                    inputs.push(name.to_owned());
+                } else {
+                    outputs.push(name.to_owned());
+                }
+            }
+        }
+        BenchNetlist {
+            inputs,
+            outputs,
+            gates,
+            topo: Vec::new(),
+        }
+        .validated()
+    }
+
+    /// Renders the netlist in canonical `.bench` form: `INPUT` block,
+    /// `OUTPUT` block, then gate definitions in stored order. The output
+    /// re-parses to an equal [`BenchNetlist`] (round-trip identity).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for i in &self.inputs {
+            let _ = writeln!(s, "INPUT({i})");
+        }
+        s.push('\n');
+        for o in &self.outputs {
+            let _ = writeln!(s, "OUTPUT({o})");
+        }
+        s.push('\n');
+        for g in &self.gates {
+            let _ = write!(s, "{} = {}(", g.output, g.func.name());
+            for (k, op) in g.inputs.iter().enumerate() {
+                if k > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(op);
+            }
+            s.push_str(")\n");
+        }
+        s
+    }
+
+    /// Semantic validation shared by [`BenchNetlist::parse`] and
+    /// [`BenchNetlist::new`]: well-formed signal names (the text form
+    /// must be able to carry every name — redundant after `parse`, load-
+    /// bearing for `new`), at least one input, no dangling references,
+    /// no cycles. Stores the topological order for [`BenchNetlist::lower`]
+    /// on success. (Duplicates are caught where line numbers are still
+    /// known.)
+    fn validated(mut self) -> Result<Self, BenchError> {
+        for name in self
+            .inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .chain(self.gates.iter().map(|g| &g.output))
+            .chain(self.gates.iter().flat_map(|g| g.inputs.iter()))
+        {
+            check_signal_name(0, name)?;
+        }
+        if self.inputs.is_empty() {
+            return Err(BenchError::Empty);
+        }
+        let mut defined: HashMap<&str, ()> = HashMap::new();
+        for i in &self.inputs {
+            if defined.insert(i, ()).is_some() {
+                return Err(BenchError::Duplicate {
+                    line: 0,
+                    name: i.clone(),
+                });
+            }
+        }
+        for g in &self.gates {
+            if defined.insert(&g.output, ()).is_some() {
+                return Err(BenchError::Duplicate {
+                    line: 0,
+                    name: g.output.clone(),
+                });
+            }
+        }
+        for name in self
+            .gates
+            .iter()
+            .flat_map(|g| g.inputs.iter())
+            .chain(self.outputs.iter())
+        {
+            if !defined.contains_key(name.as_str()) {
+                return Err(BenchError::Undefined { name: name.clone() });
+            }
+        }
+        self.topo = self.topo_order()?;
+        Ok(self)
+    }
+
+    /// Gate indices in a topological order (inputs-before-users), stable
+    /// with respect to file order among independent gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Cycle`] naming a signal on a cycle.
+    fn topo_order(&self) -> Result<Vec<usize>, BenchError> {
+        let gate_of: HashMap<&str, usize> = self
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.output.as_str(), i))
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        let mut placed = vec![false; self.gates.len()];
+        // Repeated stable scans: quadratic in the worst case, but netlist
+        // files are small and the scan preserves file order among ready
+        // gates, which keeps lowering deterministic and diffable.
+        loop {
+            let mut progressed = false;
+            for (i, g) in self.gates.iter().enumerate() {
+                if placed[i] {
+                    continue;
+                }
+                let ready = g
+                    .inputs
+                    .iter()
+                    .all(|op| gate_of.get(op.as_str()).is_none_or(|&j| placed[j]));
+                if ready {
+                    placed[i] = true;
+                    order.push(i);
+                    progressed = true;
+                }
+            }
+            if order.len() == self.gates.len() {
+                return Ok(order);
+            }
+            if !progressed {
+                let stuck = self
+                    .gates
+                    .iter()
+                    .enumerate()
+                    .find(|(i, _)| !placed[*i])
+                    .map(|(_, g)| g.output.clone())
+                    .unwrap_or_default();
+                return Err(BenchError::Cycle { name: stuck });
+            }
+        }
+    }
+
+    /// Lowers the netlist onto a [`Network`], realizing each `.bench`
+    /// gate as one `cells` cell (fan-in reduced through zero-time trees,
+    /// see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Network`] builder failures as [`BenchError::Build`]
+    /// (defensive — validation already covers the builder's checks).
+    pub fn lower(&self, cells: &CellLibrary) -> Result<LoweredNetlist, BenchError> {
+        let mut net = Network::new();
+        let mut id_of: HashMap<&str, SignalId> = HashMap::new();
+        let mut inputs = Vec::with_capacity(self.inputs.len());
+        for name in &self.inputs {
+            let id = net.add_input(name);
+            id_of.insert(name, id);
+            inputs.push(id);
+        }
+        for &gi in &self.topo {
+            let g = &self.gates[gi];
+            let ops: Vec<SignalId> = g.inputs.iter().map(|op| id_of[op.as_str()]).collect();
+            let id = lower_gate(&mut net, cells, &g.output, g.func, &ops)?;
+            id_of.insert(&g.output, id);
+        }
+        let outputs = self.outputs.iter().map(|o| id_of[o.as_str()]).collect();
+        Ok(LoweredNetlist {
+            net,
+            inputs,
+            outputs,
+        })
+    }
+}
+
+/// Lowers one `.bench` gate: a zero-time balanced reduction tree with the
+/// timed cell at the root.
+fn lower_gate(
+    net: &mut Network,
+    cells: &CellLibrary,
+    name: &str,
+    func: BenchFunc,
+    ops: &[SignalId],
+) -> Result<SignalId, BenchError> {
+    let id = match func {
+        BenchFunc::Not => cells.add_unary(net, name, GateKind::Not, ops[0])?,
+        BenchFunc::Buff => cells.add_unary(net, name, GateKind::Buf, ops[0])?,
+        BenchFunc::And | BenchFunc::Or | BenchFunc::Xor => {
+            let kind = match func {
+                BenchFunc::And => GateKind::And,
+                BenchFunc::Or => GateKind::Or,
+                _ => GateKind::Xor,
+            };
+            let mid = ops.len() / 2;
+            let mut counter = 0;
+            let left = reduce_ideal(net, name, kind, &ops[..mid], &mut counter)?;
+            let right = reduce_ideal(net, name, kind, &ops[mid..], &mut counter)?;
+            cells.add(net, name, kind, left, right)?
+        }
+        BenchFunc::Nand | BenchFunc::Nor => {
+            // The inverting cell sits at the root; its fan-in halves are
+            // reduced with the *non-inverted* function (AND under NAND,
+            // OR under NOR) so the overall Boolean function is exact.
+            let (inner, root) = if func == BenchFunc::Nand {
+                (GateKind::And, GateKind::Nand)
+            } else {
+                (GateKind::Or, GateKind::Nor)
+            };
+            let mid = ops.len() / 2;
+            let mut counter = 0;
+            let left = reduce_ideal(net, name, inner, &ops[..mid], &mut counter)?;
+            let right = reduce_ideal(net, name, inner, &ops[mid..], &mut counter)?;
+            cells.add(net, name, root, left, right)?
+        }
+        BenchFunc::Xnor => {
+            let mut counter = 0;
+            let parity = reduce_ideal(net, name, GateKind::Xor, ops, &mut counter)?;
+            cells.add_unary(net, name, GateKind::Not, parity)?
+        }
+    };
+    Ok(id)
+}
+
+/// Reduces `ops` to one signal through a balanced tree of zero-time
+/// `kind` gates (a single operand passes through untouched). Temporary
+/// signals are named `<name>#t<k>`.
+fn reduce_ideal(
+    net: &mut Network,
+    name: &str,
+    kind: GateKind,
+    ops: &[SignalId],
+    counter: &mut usize,
+) -> Result<SignalId, BenchError> {
+    Ok(match ops {
+        [] => unreachable!("arity checked at parse time"),
+        [one] => *one,
+        [a, b] => net.add_gate(&tmp_name(name, counter), kind, &[*a, *b], None)?,
+        _ => {
+            let mid = ops.len() / 2;
+            let left = reduce_ideal(net, name, kind, &ops[..mid], counter)?;
+            let right = reduce_ideal(net, name, kind, &ops[mid..], counter)?;
+            net.add_gate(&tmp_name(name, counter), kind, &[left, right], None)?
+        }
+    })
+}
+
+fn tmp_name(name: &str, counter: &mut usize) -> String {
+    let n = format!("{name}#t{counter}");
+    *counter += 1;
+    n
+}
+
+/// Splits `NAME ( a , b )` into the name and its operand list. Rejects
+/// missing/mismatched parentheses, empty operands, and garbage after the
+/// closing parenthesis.
+fn parse_call<'a>(line: usize, code: &'a str) -> Result<(&'a str, Vec<&'a str>), BenchError> {
+    let open = code.find('(').ok_or_else(|| BenchError::Syntax {
+        line,
+        reason: format!("expected '(' in '{code}'"),
+    })?;
+    let name = code[..open].trim();
+    check_signal_name(line, name)?;
+    let rest = &code[open + 1..];
+    let close = rest.rfind(')').ok_or_else(|| BenchError::Syntax {
+        line,
+        reason: "missing ')'".into(),
+    })?;
+    if !rest[close + 1..].trim().is_empty() {
+        return Err(BenchError::Syntax {
+            line,
+            reason: format!("unexpected trailing text '{}'", rest[close + 1..].trim()),
+        });
+    }
+    let body = rest[..close].trim();
+    if body.is_empty() {
+        return Err(BenchError::Syntax {
+            line,
+            reason: "empty operand list".into(),
+        });
+    }
+    let mut args = Vec::new();
+    for op in body.split(',') {
+        let op = op.trim();
+        check_signal_name(line, op)?;
+        args.push(op);
+    }
+    Ok((name, args))
+}
+
+/// Signal names: non-empty, no whitespace, none of the structural
+/// characters `( ) , = #`.
+fn check_signal_name(line: usize, name: &str) -> Result<(), BenchError> {
+    if name.is_empty() {
+        return Err(BenchError::Syntax {
+            line,
+            reason: "empty signal name".into(),
+        });
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| c.is_whitespace() || "(),=#".contains(*c))
+    {
+        return Err(BenchError::Syntax {
+            line,
+            reason: format!("invalid character '{bad}' in signal name '{name}'"),
+        });
+    }
+    Ok(())
+}
+
+fn check_arity(line: usize, func: BenchFunc, count: usize) -> Result<(), BenchError> {
+    let ok = if func.is_unary() {
+        count == 1
+    } else {
+        count >= 2
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(BenchError::BadArity {
+            line,
+            function: func.name().to_owned(),
+            count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_waveform::DigitalTrace;
+
+    const C17: &str = "
+        # c17 cut
+        INPUT(1)
+        INPUT(2)
+        INPUT(3)
+        INPUT(6)
+        INPUT(7)
+        OUTPUT(22)
+        OUTPUT(23)
+        10 = NAND(1, 3)
+        11 = NAND(3, 6)
+        16 = NAND(2, 11)
+        19 = NAND(11, 7)
+        22 = NAND(10, 16)
+        23 = NAND(16, 19)
+    ";
+
+    #[test]
+    fn parses_c17_and_round_trips() {
+        let nl = BenchNetlist::parse(C17).unwrap();
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.gates().len(), 6);
+        let again = BenchNetlist::parse(&nl.to_text()).unwrap();
+        assert_eq!(nl, again);
+    }
+
+    #[test]
+    fn forward_references_are_legal_and_lower_correctly() {
+        // Gate `y` references `z`, defined later in the file.
+        let nl = BenchNetlist::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = BUFF(a)").unwrap();
+        let lowered = nl.lower(&CellLibrary::ideal()).unwrap();
+        let traces = lowered.net.run(&[DigitalTrace::constant(true)]).unwrap();
+        assert!(!traces[lowered.outputs[0].index()].initial_value());
+    }
+
+    #[test]
+    fn wide_gates_reduce_to_exact_boolean_functions() {
+        let nl = BenchNetlist::parse(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n\
+             OUTPUT(w)\nOUTPUT(x)\nOUTPUT(y)\nOUTPUT(z)\n\
+             w = NAND(a, b, c, d, e)\n\
+             x = NOR(a, b, c)\n\
+             y = XOR(a, b, c, d)\n\
+             z = XNOR(a, b, c)",
+        )
+        .unwrap();
+        let cells = CellLibrary::ideal();
+        let lowered = nl.lower(&cells).unwrap();
+        for bits in 0..32u32 {
+            let vals: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let inputs: Vec<DigitalTrace> =
+                vals.iter().map(|&v| DigitalTrace::constant(v)).collect();
+            let traces = lowered.net.run(&inputs).unwrap();
+            let get = |k: usize| traces[lowered.outputs[k].index()].initial_value();
+            assert_eq!(get(0), !vals.iter().all(|&v| v), "NAND5 {bits:05b}");
+            assert_eq!(get(1), !vals[..3].iter().any(|&v| v), "NOR3 {bits:05b}");
+            let par4 = vals[..4].iter().filter(|&&v| v).count() % 2 == 1;
+            assert_eq!(get(2), par4, "XOR4 {bits:05b}");
+            let par3 = vals[..3].iter().filter(|&&v| v).count() % 2 == 1;
+            assert_eq!(get(3), !par3, "XNOR3 {bits:05b}");
+        }
+    }
+
+    #[test]
+    fn comment_and_whitespace_torture() {
+        let nl = BenchNetlist::parse(
+            "\t # leading comment\n\
+             \n\
+             input( a )# trailing\n\
+             INPUT(b)\n\
+             output(y)\n\
+             y   =   nand (  a ,\tb )   # gate\n",
+        )
+        .unwrap();
+        assert_eq!(nl.inputs(), ["a", "b"]);
+        assert_eq!(nl.outputs(), ["y"]);
+        assert_eq!(nl.gates()[0].func, BenchFunc::Nand);
+    }
+
+    #[test]
+    fn programmatic_constructor_rejects_unserializable_names() {
+        // `to_text` guarantees its output re-parses to an equal netlist;
+        // `new` must therefore reject names the text form cannot carry
+        // (whitespace splits tokens, '#' starts a comment, '(),=' are
+        // structural — and '#' also guards the lowering's temp names).
+        for bad in ["y z", "a#b", "p(q", "", "a,b", "x=y"] {
+            let r = BenchNetlist::new(
+                vec!["a".into()],
+                vec![],
+                vec![BenchGate {
+                    output: bad.to_owned(),
+                    func: BenchFunc::Not,
+                    inputs: vec!["a".into()],
+                }],
+            );
+            assert!(
+                matches!(r, Err(BenchError::Syntax { .. })),
+                "name {bad:?} must be rejected, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn buf_synonym_and_canonical_writer() {
+        let nl = BenchNetlist::parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)").unwrap();
+        assert_eq!(nl.gates()[0].func, BenchFunc::Buff);
+        assert!(nl.to_text().contains("y = BUFF(a)"));
+    }
+}

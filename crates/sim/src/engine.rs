@@ -1,0 +1,466 @@
+//! The event-queue netlist evaluator.
+//!
+//! [`mis_digital::Network::run_in`] evaluates a netlist as a *levelized
+//! topological sweep*: gates run in declaration order, full stop. That is
+//! exact for a feed-forward network, but it is not how timing simulators
+//! schedule work — they pull the next pending activity from a
+//! time-ordered event queue, which is also where their cost lives once
+//! per-channel kernels are allocation-free (see `EXPERIMENTS.md`, PR 3).
+//! [`Simulator`] is that engine at whole-trace granularity:
+//!
+//! * **Dependency counting.** Each gate waits until every fan-in signal
+//!   is sealed; fan-out edges are stored in a flat CSR layout built once
+//!   at construction. Declaration order is irrelevant — any acyclic
+//!   wiring evaluates, which is what `.bench` circuits (with their
+//!   forward references) need.
+//! * **Time-ordered ready queue.** A ready gate enters a binary min-heap
+//!   keyed by its *activation time* — the earliest input edge it will
+//!   see (`+∞` for all-constant inputs) — with ties broken by signal
+//!   index. The pop order is the event-driven schedule; the tie-break
+//!   makes it deterministic.
+//! * **Identical kernels.** A popped gate is evaluated by the very same
+//!   fused ideal-gate + channel passes `Network::run_in` uses
+//!   ([`mis_digital::gates::combine2_into`], `apply_into`/`apply2_into`
+//!   against the shared [`TraceArena`] staging buffers). Because each
+//!   gate's output depends only on its already-sealed fan-in traces —
+//!   never on queue order — the engine is **bit-identical** to the
+//!   levelized sweep by confluence, a property the `mis-sim` suite
+//!   asserts on every `mis_digital::netlists` topology and on random
+//!   DAGs.
+//!
+//! Like the sweep, a warm run is allocation-free: the heap, the
+//! dependency counters and the span map are preallocated at
+//! construction, and the arena reuses its flat storage (asserted by
+//! `crates/sim/tests/alloc.rs` under the counting allocator).
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_digital::{GateKind, InertialChannel, Network};
+//! use mis_sim::Simulator;
+//! use mis_waveform::{units::ps, DigitalTrace, TraceArena};
+//!
+//! # fn main() -> Result<(), mis_digital::SimError> {
+//! let mut net = Network::new();
+//! let x = net.add_input("x");
+//! let ch = Box::new(InertialChannel::symmetric(ps(30.0), ps(30.0))?);
+//! let y = net.add_gate("y", GateKind::Not, &[x], Some(ch))?;
+//! let input = DigitalTrace::with_edges(false, vec![(ps(100.0), true)])?;
+//! let mut sim = Simulator::new(&net);
+//! let mut arena = TraceArena::new();
+//! sim.run_in(&[input], &mut arena)?;
+//! let out = sim.trace(&arena, y);
+//! assert!((out.times()[0] - ps(130.0)).abs() < 1e-18);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mis_digital::{gates, GateKind, Network, SignalId, SignalSource, SimError};
+use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
+
+/// A gate whose fan-ins are all sealed, keyed for the ready queue.
+#[derive(Debug, Clone, Copy)]
+struct Ready {
+    /// Earliest input edge time (`+∞` when every input is constant).
+    time: f64,
+    /// Signal index of the gate.
+    signal: u32,
+}
+
+impl PartialEq for Ready {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Ready {}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap: reverse both keys so pops yield the
+        // earliest activation, lowest signal index first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.signal.cmp(&self.signal))
+    }
+}
+
+/// An event-queue evaluator over a borrowed [`Network`] — see the
+/// module docs for the queue discipline and the bit-identity argument.
+///
+/// Construction walks the network once (fan-out CSR, dependency
+/// degrees, queue capacity); each [`Simulator::run_in`] then reuses that
+/// storage, so the per-run cost is the event loop itself.
+#[derive(Debug)]
+pub struct Simulator<'n> {
+    net: &'n Network,
+    /// CSR row starts into `fanout`, one entry per signal plus a tail.
+    fanout_start: Vec<u32>,
+    /// Dependent gate signal indices, grouped by source signal.
+    fanout: Vec<u32>,
+    /// Fan-in degree per signal (with multiplicity; 0 for inputs).
+    indeg: Vec<u32>,
+    /// Remaining unsealed fan-ins per signal, reset from `indeg` each run.
+    deps_left: Vec<u32>,
+    /// Arena span holding each signal's trace, filled during a run.
+    span_of: Vec<u32>,
+    /// The ready queue (capacity: every signal, preallocated).
+    heap: BinaryHeap<Ready>,
+}
+
+impl<'n> Simulator<'n> {
+    /// Prepares an engine for `net`: builds the fan-out CSR and sizes
+    /// every per-run buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on networks with more than `u32::MAX` signals.
+    #[must_use]
+    pub fn new(net: &'n Network) -> Self {
+        let n = net.signal_count();
+        assert!(u32::try_from(n).is_ok(), "network too large for u32 ids");
+        let mut indeg = vec![0u32; n];
+        let mut counts = vec![0u32; n];
+        let for_each_edge = |f: &mut dyn FnMut(usize, usize)| {
+            for s in 0..n {
+                let id = net.signal_id(s).expect("s < signal_count");
+                match net.source(id) {
+                    SignalSource::Input => {}
+                    SignalSource::Gate { inputs, .. } => {
+                        for i in inputs {
+                            f(i.index(), s);
+                        }
+                    }
+                    SignalSource::TwoInputChannelGate { inputs, .. } => {
+                        for i in inputs {
+                            f(i.index(), s);
+                        }
+                    }
+                }
+            }
+        };
+        for_each_edge(&mut |src, dst| {
+            counts[src] += 1;
+            indeg[dst] += 1;
+        });
+        let mut fanout_start = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        fanout_start.push(0);
+        for &c in &counts {
+            acc += c;
+            fanout_start.push(acc);
+        }
+        let mut cursor: Vec<u32> = fanout_start[..n].to_vec();
+        let mut fanout = vec![0u32; acc as usize];
+        for_each_edge(&mut |src, dst| {
+            fanout[cursor[src] as usize] = u32::try_from(dst).expect("checked above");
+            cursor[src] += 1;
+        });
+        Simulator {
+            net,
+            fanout_start,
+            fanout,
+            indeg,
+            deps_left: vec![0; n],
+            span_of: vec![0; n],
+            heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    /// The network under simulation.
+    #[must_use]
+    pub fn network(&self) -> &'n Network {
+        self.net
+    }
+
+    /// Evaluates the network into `arena` through the event queue. After
+    /// the run, every signal's trace sits in the arena at
+    /// [`Simulator::span`] — spans are sealed in *schedule* order, which
+    /// generally differs from signal order.
+    ///
+    /// On a warm arena (one prior run of similar edge counts) the whole
+    /// evaluation performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Network`] — wrong number of input traces.
+    /// * Propagates channel failures.
+    pub fn run_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+    ) -> Result<(), SimError> {
+        if inputs.len() != self.net.input_count() {
+            return Err(SimError::Network {
+                reason: format!(
+                    "expected {} input traces, got {}",
+                    self.net.input_count(),
+                    inputs.len()
+                ),
+            });
+        }
+        arena.reset();
+        self.heap.clear();
+        self.deps_left.copy_from_slice(&self.indeg);
+        for (i, t) in inputs.iter().enumerate() {
+            let span = arena.push_trace(t);
+            self.span_of[i] = u32::try_from(span).expect("span fits u32");
+        }
+        let mut sealed = inputs.len();
+        for i in 0..inputs.len() {
+            self.notify_fanout(i, arena);
+        }
+        while let Some(Ready { signal, .. }) = self.heap.pop() {
+            let s = signal as usize;
+            self.eval(s, arena)?;
+            sealed += 1;
+            self.notify_fanout(s, arena);
+        }
+        debug_assert_eq!(
+            sealed,
+            self.net.signal_count(),
+            "event loop drained before every gate was evaluated"
+        );
+        Ok(())
+    }
+
+    /// The allocating compatibility wrapper: evaluates through a
+    /// run-local arena and returns one owned trace per signal **in
+    /// signal order**, exactly like [`Network::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run_in`].
+    pub fn run(&mut self, inputs: &[DigitalTrace]) -> Result<Vec<DigitalTrace>, SimError> {
+        let mut arena = TraceArena::new();
+        self.run_in(inputs, &mut arena)?;
+        Ok((0..self.net.signal_count())
+            .map(|s| arena.to_trace(self.span_of[s] as usize))
+            .collect())
+    }
+
+    /// The arena span index holding signal `id`'s trace (valid after a
+    /// [`Simulator::run_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign [`SignalId`].
+    #[must_use]
+    pub fn span(&self, id: SignalId) -> usize {
+        self.span_of[id.index()] as usize
+    }
+
+    /// Convenience: the view of signal `id`'s trace inside `arena`
+    /// (valid after a [`Simulator::run_in`] into that arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign [`SignalId`] or a mismatched arena.
+    #[must_use]
+    pub fn trace<'a>(&self, arena: &'a TraceArena, id: SignalId) -> TraceRef<'a> {
+        arena.trace(self.span(id))
+    }
+
+    /// Decrements the dependency count of every gate fed by `s`, queueing
+    /// those that became ready, keyed by activation time.
+    fn notify_fanout(&mut self, s: usize, arena: &TraceArena) {
+        for k in self.fanout_start[s]..self.fanout_start[s + 1] {
+            let g = self.fanout[k as usize] as usize;
+            self.deps_left[g] -= 1;
+            if self.deps_left[g] == 0 {
+                let time = self.activation_time(g, arena);
+                self.heap.push(Ready {
+                    time,
+                    signal: u32::try_from(g).expect("checked in new"),
+                });
+            }
+        }
+    }
+
+    /// Earliest edge time across the gate's (already sealed) fan-in
+    /// traces; `+∞` when every input is constant.
+    fn activation_time(&self, g: usize, arena: &TraceArena) -> f64 {
+        let net = self.net;
+        let id = net.signal_id(g).expect("g < signal_count");
+        match net.source(id) {
+            SignalSource::Input => f64::INFINITY,
+            SignalSource::Gate { inputs, .. } => self.fanin_activation(inputs, arena),
+            SignalSource::TwoInputChannelGate { inputs, .. } => {
+                self.fanin_activation(&inputs, arena)
+            }
+        }
+    }
+
+    /// Earliest first-edge time across `ids`' sealed spans.
+    fn fanin_activation(&self, ids: &[SignalId], arena: &TraceArena) -> f64 {
+        ids.iter()
+            .map(|sid| {
+                arena
+                    .trace(self.span_of[sid.index()] as usize)
+                    .times()
+                    .first()
+                    .copied()
+                    .unwrap_or(f64::INFINITY)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Evaluates one gate through the same fused kernels as
+    /// [`Network::run_in`] and seals its output span.
+    fn eval(&mut self, s: usize, arena: &mut TraceArena) -> Result<(), SimError> {
+        let net = self.net;
+        let id = net.signal_id(s).expect("s < signal_count");
+        let span = match net.source(id) {
+            SignalSource::Input => unreachable!("inputs are sealed before the event loop"),
+            SignalSource::Gate {
+                kind,
+                inputs,
+                channel,
+            } => match kind.func2() {
+                None => {
+                    let invert = matches!(kind, GateKind::Not);
+                    let src = self.span_of[inputs[0].index()] as usize;
+                    match channel {
+                        None => arena.push_duplicate(src, invert),
+                        Some(ch) => {
+                            let (sealed, out, _) = arena.stage();
+                            let mut view = sealed.trace(src);
+                            if invert {
+                                view = view.inverted();
+                            }
+                            ch.apply_into(view, out)?;
+                            arena.seal_out()
+                        }
+                    }
+                }
+                Some(f) => {
+                    let (sealed, out, scratch) = arena.stage();
+                    let va = sealed.trace(self.span_of[inputs[0].index()] as usize);
+                    let vb = sealed.trace(self.span_of[inputs[1].index()] as usize);
+                    match channel {
+                        None => gates::combine2_into(f, va, vb, out)?,
+                        Some(ch) => {
+                            gates::combine2_into(f, va, vb, scratch)?;
+                            ch.apply_into(scratch.as_ref(), out)?;
+                        }
+                    }
+                    arena.seal_out()
+                }
+            },
+            SignalSource::TwoInputChannelGate { inputs, channel } => {
+                let (sealed, out, _) = arena.stage();
+                let va = sealed.trace(self.span_of[inputs[0].index()] as usize);
+                let vb = sealed.trace(self.span_of[inputs[1].index()] as usize);
+                channel.apply2_into(va, vb, out)?;
+                arena.seal_out()
+            }
+        };
+        self.span_of[s] = u32::try_from(span).expect("span fits u32");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_digital::{InertialChannel, Network, PureDelayChannel};
+    use mis_waveform::units::ps;
+
+    #[test]
+    fn matches_network_run_on_a_small_circuit() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let n1 = net
+            .add_gate(
+                "n1",
+                GateKind::Nor,
+                &[a, b],
+                Some(Box::new(
+                    InertialChannel::symmetric(ps(40.0), ps(30.0)).unwrap(),
+                )),
+            )
+            .unwrap();
+        let n2 = net
+            .add_gate(
+                "n2",
+                GateKind::Nand,
+                &[n1, a],
+                Some(Box::new(PureDelayChannel::new(ps(5.0)).unwrap())),
+            )
+            .unwrap();
+        let ta =
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(400.0), false)]).unwrap();
+        let tb = DigitalTrace::with_edges(false, vec![(ps(250.0), true)]).unwrap();
+        let want = net.run(&[ta.clone(), tb.clone()]).unwrap();
+        let mut sim = Simulator::new(&net);
+        let got = sim.run(&[ta.clone(), tb]).unwrap();
+        assert_eq!(got, want);
+        // And the warm in-place path reproduces it.
+        let mut arena = TraceArena::new();
+        sim.run_in(
+            &[
+                ta,
+                DigitalTrace::with_edges(false, vec![(ps(250.0), true)]).unwrap(),
+            ],
+            &mut arena,
+        )
+        .unwrap();
+        assert_eq!(sim.trace(&arena, n2).to_trace(), want[n2.index()]);
+        assert_eq!(sim.trace(&arena, n1).to_trace(), want[n1.index()]);
+    }
+
+    #[test]
+    fn input_count_is_validated() {
+        let mut net = Network::new();
+        net.add_input("a");
+        let mut sim = Simulator::new(&net);
+        assert!(sim.run(&[]).is_err());
+    }
+
+    #[test]
+    fn constant_inputs_still_evaluate_every_gate() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let y = net.add_gate("y", GateKind::Not, &[a], None).unwrap();
+        let mut sim = Simulator::new(&net);
+        let got = sim.run(&[DigitalTrace::constant(true)]).unwrap();
+        assert!(!got[y.index()].initial_value());
+        assert_eq!(got[y.index()].transition_count(), 0);
+    }
+
+    #[test]
+    fn ready_ordering_is_time_then_index() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Ready {
+            time: 5.0,
+            signal: 1,
+        });
+        heap.push(Ready {
+            time: 2.0,
+            signal: 9,
+        });
+        heap.push(Ready {
+            time: 2.0,
+            signal: 3,
+        });
+        heap.push(Ready {
+            time: f64::INFINITY,
+            signal: 0,
+        });
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop())
+            .map(|r| r.signal)
+            .collect();
+        assert_eq!(order, vec![3, 9, 1, 0]);
+    }
+}

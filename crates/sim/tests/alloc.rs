@@ -1,0 +1,84 @@
+//! Steady-state allocation-freedom of the event-queue engine, asserted
+//! with the `mis-testkit` counting allocator: after one warm-up run has
+//! sized the arena, the ready queue and the span map, re-running
+//! [`Simulator::run_in`] over same-shaped inputs performs **zero** heap
+//! allocations — on the committed C432-scale fixture with `Arc`-shared
+//! cached-hybrid cells, the exact workload of the `netlist_throughput`
+//! bench tier.
+//!
+//! An integration test (its own binary) so the counting allocator can be
+//! installed globally without touching any other target.
+
+use std::path::PathBuf;
+
+use mis_charlib::CharLib;
+use mis_digital::InertialChannel;
+use mis_sim::{BenchNetlist, CellLibrary, Simulator};
+use mis_testkit::alloc::{self, CountingAllocator};
+use mis_waveform::generate::{Assignment, TraceConfig};
+use mis_waveform::units::ps;
+use mis_waveform::{DigitalTrace, TraceArena};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn committed_cells() -> CellLibrary {
+    let text = std::fs::read_to_string(workspace_root().join("data/charlib/nor_paper.mislib"))
+        .expect("committed NOR library");
+    let lib = CharLib::from_text(&text).expect("library parses");
+    CellLibrary::hybrid(
+        &lib,
+        Some(InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel")),
+    )
+    .expect("cell library")
+}
+
+fn fixture(name: &str) -> BenchNetlist {
+    let text =
+        std::fs::read_to_string(workspace_root().join("data/bench").join(name)).expect("fixture");
+    BenchNetlist::parse(&text).expect("fixture parses")
+}
+
+fn traffic(n: usize, seed: u64) -> Vec<DigitalTrace> {
+    (0..n)
+        .map(|i| {
+            let pair = TraceConfig::new(ps(400.0), ps(150.0), Assignment::Local, 40)
+                .generate(seed + i as u64)
+                .expect("trace generation");
+            if i % 2 == 0 {
+                pair.a
+            } else {
+                pair.b
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn warm_simulator_run_in_is_allocation_free() {
+    let cells = committed_cells();
+    for (file, seed) in [("c432.bench", 0x432), ("c17.bench", 0xC17)] {
+        let lowered = fixture(file).lower(&cells).expect("lowering");
+        let inputs = traffic(lowered.inputs.len(), seed);
+        let mut sim = Simulator::new(&lowered.net);
+        let mut arena = TraceArena::new();
+        // Warm-up: sizes the arena storage, the ready queue and the span
+        // map; also pins down the edge counts a repeat run must hit.
+        sim.run_in(&inputs, &mut arena).expect("warm-up run");
+        let warm_edges = arena.total_edges();
+        let (allocations, ()) = alloc::count_in(|| {
+            for _ in 0..5 {
+                sim.run_in(&inputs, &mut arena).expect("steady-state run");
+            }
+        });
+        assert_eq!(
+            allocations, 0,
+            "{file}: steady-state Simulator::run_in allocated {allocations} times"
+        );
+        assert_eq!(arena.total_edges(), warm_edges, "{file}: reproducible");
+    }
+}

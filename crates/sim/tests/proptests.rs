@@ -1,0 +1,539 @@
+//! Property-based tests for the `mis-sim` subsystem: bit-identity of the
+//! event-queue engine against `Network::run` (on every
+//! `mis_digital::netlists` topology and on randomized DAGs over all
+//! channel kinds, empty traces included), `.bench` parse→write→parse
+//! round trips with comment/whitespace torture, one malformed-input test
+//! per parser error variant, and round trips of the committed
+//! `data/charlib` text libraries. On the in-repo `mis-testkit` harness.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use mis_charlib::{CharConfig, CharGate, CharLib};
+use mis_core::NorParams;
+use mis_digital::netlists::{self, CachedHybridFactory, ChannelPerGate};
+use mis_digital::{
+    CachedHybridChannel, CachedHybridNandChannel, ExpChannel, GateKind, InertialChannel, Network,
+    PureDelayChannel, SumExpChannel, TraceTransform, TwoInputTransform,
+};
+use mis_sim::{BenchError, BenchFunc, BenchGate, BenchNetlist, CellLibrary, Simulator};
+use mis_testkit::prelude::*;
+use mis_testkit::rng::TestRng;
+use mis_waveform::units::ps;
+use mis_waveform::{DigitalTrace, TraceArena};
+
+const CASES: u32 = 48;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Characterized NOR library (quick config — bit-identity tests compare
+/// the same channel objects along two engine paths, not against the
+/// exact model, so the loose budget is irrelevant).
+fn shared_lib() -> &'static CharLib {
+    static LIB: OnceLock<CharLib> = OnceLock::new();
+    LIB.get_or_init(|| {
+        CharLib::nor(&NorParams::paper_table1(), &CharConfig::quick()).expect("characterization")
+    })
+}
+
+/// Random trace on a 5 ps grid, so exactly-simultaneous edges across
+/// independently generated traces are common, including empty traces.
+fn grid_trace(rng: &mut TestRng, max_edges: u64) -> DigitalTrace {
+    let n = rng.gen_u64_below(max_edges + 1);
+    let init = rng.gen_bool(0.5);
+    let mut trace = DigitalTrace::constant(init);
+    let mut ticks: u64 = 0;
+    let mut v = init;
+    for _ in 0..n {
+        ticks += 1 + rng.gen_u64_below(40);
+        v = !v;
+        trace
+            .push_edge(ps(100.0) + ticks as f64 * ps(5.0), v)
+            .expect("monotone");
+    }
+    trace
+}
+
+/// Asserts the event engine reproduces `Network::run` bit for bit on
+/// `net`, including a second run on the warm arena (reuse contract).
+fn assert_engine_matches(net: &Network, inputs: &[DigitalTrace]) {
+    let want = net.run(inputs).expect("reference run");
+    let mut sim = Simulator::new(net);
+    let got = sim.run(inputs).expect("event-queue run");
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g, w, "signal {i} ('{}')", {
+            let id = net.signal_id(i).unwrap();
+            net.signal_name(id).to_owned()
+        });
+    }
+    let mut arena = TraceArena::new();
+    sim.run_in(inputs, &mut arena).expect("warm-up");
+    sim.run_in(inputs, &mut arena).expect("warm rerun");
+    for (i, w) in want.iter().enumerate() {
+        let id = net.signal_id(i).unwrap();
+        assert_eq!(&sim.trace(&arena, id).to_trace(), w, "warm signal {i}");
+    }
+}
+
+#[test]
+fn engine_bit_identical_on_all_netlists_topologies() {
+    let lib = shared_lib();
+    let mut rng = TestRng::seed_from_u64(0x51B);
+    let inertial = || {
+        Some(
+            Box::new(InertialChannel::symmetric(ps(50.0), ps(38.0)).unwrap())
+                as Box<dyn TraceTransform>,
+        )
+    };
+    let mut cached = CachedHybridFactory::new(lib).unwrap();
+    let builds = vec![
+        netlists::ripple_chain(GateKind::Nor, 8, &mut ChannelPerGate(inertial)).unwrap(),
+        netlists::ripple_chain(GateKind::Nor, 8, &mut cached).unwrap(),
+        netlists::ripple_chain(GateKind::Nand, 5, &mut cached).unwrap(),
+        netlists::c17(&mut ChannelPerGate(inertial)).unwrap(),
+        netlists::c17(&mut cached).unwrap(),
+        netlists::fanout_tree(4, &mut inertial.clone()).unwrap(),
+        netlists::fanout_tree(3, &mut || None).unwrap(),
+    ];
+    for built in &builds {
+        let inputs: Vec<DigitalTrace> = (0..built.net.input_count())
+            .map(|_| grid_trace(&mut rng, 14))
+            .collect();
+        assert_engine_matches(&built.net, &inputs);
+    }
+}
+
+/// Channel palette index → fresh channel (`None` = zero-time).
+fn spec_channel(ch: usize) -> Option<Box<dyn TraceTransform>> {
+    match ch {
+        0 => None,
+        1 => Some(Box::new(PureDelayChannel::new(ps(7.0)).unwrap())),
+        2 => Some(Box::new(
+            InertialChannel::symmetric(ps(40.0), ps(30.0)).unwrap(),
+        )),
+        3 => Some(Box::new(
+            ExpChannel::from_sis_delays(ps(50.0), ps(38.0), ps(15.0)).unwrap(),
+        )),
+        _ => Some(Box::new(
+            SumExpChannel::from_sis_delay(ps(50.0), ps(15.0), 0.7, 3.0).unwrap(),
+        )),
+    }
+}
+
+/// Builds a random feed-forward network over every channel kind: unary
+/// and binary zero-time gates with optional single-input channels, plus
+/// cached hybrid NOR/NAND two-input channel gates.
+fn random_network(rng: &mut TestRng) -> Network {
+    const BINARY: [GateKind; 5] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+    ];
+    let n_inputs = 1 + rng.gen_u64_below(3) as usize;
+    let n_gates = 1 + rng.gen_u64_below(8) as usize;
+    let mut net = Network::new();
+    let mut ids = Vec::new();
+    for i in 0..n_inputs {
+        ids.push(net.add_input(&format!("in{i}")));
+    }
+    for g in 0..n_gates {
+        let name = format!("g{g}");
+        let pick = |rng: &mut TestRng| ids[rng.gen_u64_below(ids.len() as u64) as usize];
+        let id = match rng.gen_u64_below(4) {
+            0 => {
+                let kind = if rng.gen_bool(0.5) {
+                    GateKind::Not
+                } else {
+                    GateKind::Buf
+                };
+                let src = pick(rng);
+                net.add_gate(
+                    &name,
+                    kind,
+                    &[src],
+                    spec_channel(rng.gen_u64_below(5) as usize),
+                )
+                .unwrap()
+            }
+            1 | 2 => {
+                let kind = BINARY[rng.gen_u64_below(5) as usize];
+                let (a, b) = (pick(rng), pick(rng));
+                net.add_gate(
+                    &name,
+                    kind,
+                    &[a, b],
+                    spec_channel(rng.gen_u64_below(5) as usize),
+                )
+                .unwrap()
+            }
+            _ => {
+                let channel: Box<dyn TwoInputTransform> = if rng.gen_bool(0.5) {
+                    Box::new(CachedHybridNandChannel::from_dual(shared_lib()).unwrap())
+                } else {
+                    Box::new(CachedHybridChannel::new(shared_lib()).unwrap())
+                };
+                let (a, b) = (pick(rng), pick(rng));
+                net.add_two_input_channel_gate(&name, [a, b], channel)
+                    .unwrap()
+            }
+        };
+        ids.push(id);
+    }
+    net
+}
+
+#[test]
+fn engine_bit_identical_on_random_dags() {
+    // The event-queue schedule must be invisible: for any acyclic wiring
+    // and any channel kind, outputs equal the levelized sweep bit for
+    // bit — on empty traces and exactly-simultaneous edges too.
+    Config::with_cases(CASES).run(&(0u64..u64::MAX), |&seed| {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let net = random_network(&mut rng);
+        let inputs: Vec<DigitalTrace> = (0..net.input_count())
+            .map(|_| grid_trace(&mut rng, 8))
+            .collect();
+        let want = net.run(&inputs).unwrap();
+        let mut sim = Simulator::new(&net);
+        let got = sim.run(&inputs).unwrap();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(g, w, "signal {i} diverged (seed {seed})");
+        }
+        Ok(())
+    });
+}
+
+/// Random `.bench` netlist with safe names, wide gates, and forward
+/// references (gates are emitted in reverse definition order half the
+/// time).
+fn random_bench(rng: &mut TestRng) -> BenchNetlist {
+    const FUNCS: [BenchFunc; 8] = [
+        BenchFunc::And,
+        BenchFunc::Or,
+        BenchFunc::Nand,
+        BenchFunc::Nor,
+        BenchFunc::Xor,
+        BenchFunc::Xnor,
+        BenchFunc::Not,
+        BenchFunc::Buff,
+    ];
+    let n_inputs = 1 + rng.gen_u64_below(4) as usize;
+    let n_gates = 1 + rng.gen_u64_below(8) as usize;
+    let inputs: Vec<String> = (0..n_inputs).map(|i| format!("in{i}")).collect();
+    let mut defined = inputs.clone();
+    let mut gates = Vec::new();
+    for g in 0..n_gates {
+        let func = FUNCS[rng.gen_u64_below(8) as usize];
+        let arity = if func.is_unary() {
+            1
+        } else {
+            2 + rng.gen_u64_below(4) as usize
+        };
+        let ops: Vec<String> = (0..arity)
+            .map(|_| defined[rng.gen_u64_below(defined.len() as u64) as usize].clone())
+            .collect();
+        // Lower-case names stay fixed under the torture test's random
+        // line-case flips (only keywords are case-insensitive).
+        let name = format!("s{g}");
+        defined.push(name.clone());
+        gates.push(BenchGate {
+            output: name,
+            func,
+            inputs: ops,
+        });
+    }
+    if rng.gen_bool(0.5) {
+        gates.reverse(); // forward references stay legal
+    }
+    let n_out = 1 + rng.gen_u64_below(3) as usize;
+    let outputs: Vec<String> = (0..n_out)
+        .map(|_| defined[rng.gen_u64_below(defined.len() as u64) as usize].clone())
+        .collect();
+    BenchNetlist::new(inputs, outputs, gates).expect("generator emits valid netlists")
+}
+
+#[test]
+fn bench_write_parse_round_trip_is_identity() {
+    Config::with_cases(CASES).run(&(0u64..u64::MAX), |&seed| {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let nl = random_bench(&mut rng);
+        let text = nl.to_text();
+        let parsed = BenchNetlist::parse(&text).expect("canonical text parses");
+        prop_assert_eq!(&parsed, &nl, "round trip (seed {seed})");
+        // The writer is idempotent through a parse.
+        prop_assert_eq!(parsed.to_text(), text);
+        Ok(())
+    });
+}
+
+#[test]
+fn bench_parse_survives_comment_and_whitespace_torture() {
+    // Injecting comments, blank lines, indentation, trailing whitespace
+    // and random keyword case changes nothing semantically.
+    Config::with_cases(CASES).run(&(0u64..u64::MAX), |&seed| {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let nl = random_bench(&mut rng);
+        let mut tortured = String::from("# header comment\n\n");
+        for line in nl.to_text().lines() {
+            match rng.gen_u64_below(4) {
+                0 => tortured.push_str("   \t\n"),
+                1 => tortured.push_str("# interleaved comment, with (parens) = and , commas\n"),
+                _ => {}
+            }
+            let line = if rng.gen_bool(0.3) {
+                line.to_ascii_lowercase()
+            } else {
+                line.to_owned()
+            };
+            let line = line.replace('(', " ( ").replace(',', " ,\t");
+            tortured.push('\t');
+            tortured.push_str(&line);
+            if rng.gen_bool(0.5) {
+                tortured.push_str("  # trailing");
+            }
+            tortured.push('\n');
+        }
+        let parsed = BenchNetlist::parse(&tortured).expect("tortured text parses");
+        prop_assert_eq!(&parsed, &nl, "torture changed the parse (seed {seed})");
+        Ok(())
+    });
+}
+
+// ---- one malformed-input test per parser error variant ----
+
+#[test]
+fn error_syntax() {
+    for bad in [
+        "INPUT(a)\nOUTPUT(a)\nbogus line",
+        "INPUT(a)\ny = NOT(a",
+        "INPUT(a)\ny = NOT(a) trailing",
+        "INPUT(a)\ny = NOT()",
+        "INPUT(a, b)\n",
+        "INPUT(a)\nWIBBLE(a)\n",
+        "INPUT(a)\nx y = NOT(a)",
+    ] {
+        assert!(
+            matches!(BenchNetlist::parse(bad), Err(BenchError::Syntax { .. })),
+            "expected Syntax error for {bad:?}, got {:?}",
+            BenchNetlist::parse(bad)
+        );
+    }
+}
+
+#[test]
+fn error_unknown_function() {
+    let r = BenchNetlist::parse("INPUT(a)\nOUTPUT(y)\ny = DFF(a, a)");
+    match r {
+        Err(BenchError::UnknownFunction { line, name }) => {
+            assert_eq!(line, 3);
+            assert_eq!(name, "DFF");
+        }
+        other => panic!("expected UnknownFunction, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_bad_arity() {
+    for (bad, func) in [
+        ("INPUT(a)\ny = NOT(a, a)", "NOT"),
+        ("INPUT(a)\ny = BUFF(a, a)", "BUFF"),
+        ("INPUT(a)\ny = NAND(a)", "NAND"),
+        ("INPUT(a)\ny = XOR(a)", "XOR"),
+    ] {
+        match BenchNetlist::parse(bad) {
+            Err(BenchError::BadArity { function, .. }) => assert_eq!(function, func),
+            other => panic!("expected BadArity for {bad:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn error_duplicate() {
+    for bad in [
+        "INPUT(a)\nINPUT(a)",
+        "INPUT(a)\ny = NOT(a)\ny = BUFF(a)",
+        "INPUT(a)\na = NOT(a)",
+    ] {
+        assert!(
+            matches!(BenchNetlist::parse(bad), Err(BenchError::Duplicate { .. })),
+            "expected Duplicate for {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn error_undefined() {
+    match BenchNetlist::parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)") {
+        Err(BenchError::Undefined { name }) => assert_eq!(name, "ghost"),
+        other => panic!("expected Undefined, got {other:?}"),
+    }
+    assert!(matches!(
+        BenchNetlist::parse("INPUT(a)\nOUTPUT(nowhere)"),
+        Err(BenchError::Undefined { .. })
+    ));
+}
+
+#[test]
+fn error_cycle() {
+    let r = BenchNetlist::parse("INPUT(a)\nx = NAND(a, y)\ny = NAND(a, x)");
+    assert!(matches!(r, Err(BenchError::Cycle { .. })), "got {r:?}");
+    // Self-loop.
+    assert!(matches!(
+        BenchNetlist::parse("INPUT(a)\nx = NAND(a, x)"),
+        Err(BenchError::Cycle { .. })
+    ));
+}
+
+#[test]
+fn error_empty() {
+    assert!(matches!(BenchNetlist::parse(""), Err(BenchError::Empty)));
+    assert!(matches!(
+        BenchNetlist::parse("# only comments\n\n  # here\n"),
+        Err(BenchError::Empty)
+    ));
+}
+
+// ---- committed fixtures ----
+
+#[test]
+fn committed_charlib_text_libraries_round_trip() {
+    for (file, gate) in [
+        ("data/charlib/nor_paper.mislib", CharGate::Nor),
+        ("data/charlib/nand_dual.mislib", CharGate::Nand),
+    ] {
+        let path = workspace_root().join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let lib = CharLib::from_text(&text).expect("committed library parses");
+        assert_eq!(lib.gate(), gate, "{file}");
+        // Loader round trip is the identity on the committed bytes, so
+        // `load → save` can never silently reformat a committed library.
+        assert_eq!(lib.to_text(), text, "{file} round trip");
+        // And the loaded tables drive the cached fast path directly.
+        if gate == CharGate::Nor {
+            let cells = CellLibrary::hybrid(&lib, None).expect("loaded NOR library builds cells");
+            assert!(cells.shared_tables().is_some());
+        }
+    }
+}
+
+#[test]
+fn c17_fixture_matches_builtin_topology_bit_for_bit() {
+    let text = std::fs::read_to_string(workspace_root().join("data/bench/c17.bench")).unwrap();
+    let nl = BenchNetlist::parse(&text).expect("c17 fixture parses");
+    assert_eq!(nl.inputs().len(), 5);
+    assert_eq!(nl.outputs().len(), 2);
+    assert_eq!(nl.gates().len(), 6);
+
+    let ch = InertialChannel::symmetric(ps(50.0), ps(38.0)).unwrap();
+    let lowered = nl.lower(&CellLibrary::inertial(ch.clone())).unwrap();
+    let mut reference = ChannelPerGate(|| {
+        Some(Box::new(InertialChannel::symmetric(ps(50.0), ps(38.0)).unwrap()) as Box<_>)
+    });
+    let builtin = netlists::c17(&mut reference).unwrap();
+
+    let mut rng = TestRng::seed_from_u64(0xC17);
+    for _ in 0..8 {
+        let inputs: Vec<DigitalTrace> = (0..5).map(|_| grid_trace(&mut rng, 12)).collect();
+        let want = builtin.net.run(&inputs).unwrap();
+        let mut sim = Simulator::new(&lowered.net);
+        let got = sim.run(&inputs).unwrap();
+        for (k, out) in lowered.outputs.iter().enumerate() {
+            assert_eq!(
+                got[out.index()],
+                want[builtin.outputs[k].index()],
+                "output {k}"
+            );
+        }
+    }
+}
+
+/// Constant-input reference model of the committed C432-scale circuit
+/// (priority interrupt controller, see `make_data.rs`).
+fn c432_reference(e: u16, a: u16, b: u16, c: u16) -> [bool; 7] {
+    let va = a & e;
+    let vb = b & e;
+    let vc = c & e;
+    let pa = va != 0;
+    let pb = !pa && vb != 0;
+    let pc = !pa && !pb && vc != 0;
+    let r = if pa {
+        va
+    } else if pb {
+        vb
+    } else if pc {
+        vc
+    } else {
+        0
+    };
+    let chan = if r == 0 { 0 } else { r.trailing_zeros() };
+    [
+        pa,
+        pb,
+        pc,
+        chan & 8 != 0,
+        chan & 4 != 0,
+        chan & 2 != 0,
+        chan & 1 != 0,
+    ]
+}
+
+#[test]
+fn c432_fixture_loads_runs_and_encodes_priorities() {
+    let text = std::fs::read_to_string(workspace_root().join("data/bench/c432.bench")).unwrap();
+    let nl = BenchNetlist::parse(&text).expect("c432 fixture parses");
+    assert_eq!(nl.inputs().len(), 36);
+    assert_eq!(nl.outputs().len(), 7);
+    assert_eq!(nl.gates().len(), 132);
+
+    let lowered = nl.lower(&CellLibrary::ideal()).unwrap();
+    let mut sim = Simulator::new(&lowered.net);
+    let mut rng = TestRng::seed_from_u64(0xC432);
+    let mut check = |e: u16, a: u16, b: u16, c: u16| {
+        let mut inputs = Vec::with_capacity(36);
+        for mask in [e, a, b, c] {
+            for i in 0..9 {
+                inputs.push(DigitalTrace::constant(mask >> i & 1 == 1));
+            }
+        }
+        let traces = sim.run(&inputs).unwrap();
+        let want = c432_reference(e, a, b, c);
+        for (k, out) in lowered.outputs.iter().enumerate() {
+            assert_eq!(
+                traces[out.index()].initial_value(),
+                want[k],
+                "output {k} for e={e:09b} a={a:09b} b={b:09b} c={c:09b}"
+            );
+        }
+    };
+    check(0, 0, 0, 0);
+    check(0x1FF, 0x1FF, 0x1FF, 0x1FF);
+    check(0x1FF, 0, 0, 0x100);
+    check(0x0F0, 0x100, 0x0F0, 0);
+    for _ in 0..60 {
+        let m = |rng: &mut TestRng| (rng.next_u64() & 0x1FF) as u16;
+        check(m(&mut rng), m(&mut rng), m(&mut rng), m(&mut rng));
+    }
+}
+
+#[test]
+fn c432_event_engine_matches_sweep_under_timed_cells() {
+    let text = std::fs::read_to_string(workspace_root().join("data/bench/c432.bench")).unwrap();
+    let nl = BenchNetlist::parse(&text).unwrap();
+    let fallback = InertialChannel::symmetric(ps(50.0), ps(38.0)).unwrap();
+    let cells = [
+        CellLibrary::inertial(fallback.clone()),
+        CellLibrary::hybrid(shared_lib(), Some(fallback)).unwrap(),
+    ];
+    let mut rng = TestRng::seed_from_u64(0x432);
+    for cells in cells {
+        let lowered = nl.lower(&cells).unwrap();
+        let inputs: Vec<DigitalTrace> = (0..36).map(|_| grid_trace(&mut rng, 10)).collect();
+        assert_engine_matches(&lowered.net, &inputs);
+    }
+}

@@ -1,86 +1,97 @@
 //! Composing circuits from gates and channels: a two-level NOR network
-//! (y = NOR(NOR(a,b), NOR(c,d))) where the first level uses hybrid
-//! two-input channels and the second level compares hybrid vs inertial
-//! timing — demonstrating how MIS-aware channels change glitch behaviour
-//! deeper in a circuit.
+//! (y = NOR(NOR(a,b), NOR(c,d))) where one network uses the cached
+//! hybrid MIS model — built from the **committed** characterized library
+//! under `data/charlib/`, no re-characterization — and the other uses
+//! inertial channels behind zero-time gates, demonstrating how MIS-aware
+//! channels change glitch behaviour deeper in a circuit. Both networks
+//! are evaluated on the allocation-free `run_in` path over one warm
+//! `TraceArena`.
 //!
 //! Run: `cargo run --release --example circuit_network`
 
-use mis_delay::core::NorParams;
-use mis_delay::digital::{GateKind, HybridNorChannel, InertialChannel, Network};
+use std::sync::Arc;
+
+use mis_delay::charlib::CharLib;
+use mis_delay::digital::{GateKind, InertialChannel, Network, SignalId};
+use mis_delay::sim::CellLibrary;
 use mis_delay::waveform::units::{ps, to_ps};
-use mis_delay::waveform::DigitalTrace;
+use mis_delay::waveform::{DigitalTrace, TraceArena, TraceRef};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = NorParams::paper_table1();
+    // The committed characterized NOR library (regenerate with
+    // `cargo run -p mis-bench --bin make_data`).
+    let lib_path = concat!(env!("CARGO_MANIFEST_DIR"), "/data/charlib/nor_paper.mislib");
+    let lib = CharLib::from_text(&std::fs::read_to_string(lib_path)?)?;
+    println!(
+        "loaded committed NOR library ({} — budget {:.2} ps)",
+        lib_path,
+        to_ps(lib.budget())
+    );
 
-    // Network 1: all three NOR gates are hybrid channels.
+    // Network 1: all three NOR gates share one Arc'd cached-hybrid
+    // table set through the cell library.
+    let cells = CellLibrary::hybrid(&lib, None)?;
+    let tables = Arc::clone(cells.shared_tables().expect("hybrid cells"));
     let mut hybrid_net = Network::new();
     let a = hybrid_net.add_input("a");
     let b = hybrid_net.add_input("b");
     let c = hybrid_net.add_input("c");
     let d = hybrid_net.add_input("d");
-    let n1 = hybrid_net.add_two_input_channel_gate(
-        "n1",
-        [a, b],
-        Box::new(HybridNorChannel::new(&params)?),
-    )?;
-    let n2 = hybrid_net.add_two_input_channel_gate(
-        "n2",
-        [c, d],
-        Box::new(HybridNorChannel::new(&params)?),
-    )?;
-    let y_hybrid = hybrid_net.add_two_input_channel_gate(
-        "y",
-        [n1, n2],
-        Box::new(HybridNorChannel::new(&params)?),
-    )?;
+    let n1 = cells.add(&mut hybrid_net, "n1", GateKind::Nor, a, b)?;
+    let n2 = cells.add(&mut hybrid_net, "n2", GateKind::Nor, c, d)?;
+    let y_hybrid = cells.add(&mut hybrid_net, "y", GateKind::Nor, n1, n2)?;
+    println!(
+        "hybrid network built: 3 gates, 1 shared table set ({} references)",
+        Arc::strong_count(&tables)
+    );
 
     // Network 2: same topology, inertial channels behind zero-time gates.
+    let icells = CellLibrary::inertial(InertialChannel::symmetric(ps(55.0), ps(39.0))?);
     let mut inertial_net = Network::new();
     let ia = inertial_net.add_input("a");
     let ib = inertial_net.add_input("b");
     let ic = inertial_net.add_input("c");
     let id = inertial_net.add_input("d");
-    let ch = || InertialChannel::symmetric(ps(55.0), ps(39.0)).map(|c| Box::new(c) as Box<_>);
-    let m1 = inertial_net.add_gate("n1", GateKind::Nor, &[ia, ib], Some(ch()?))?;
-    let m2 = inertial_net.add_gate("n2", GateKind::Nor, &[ic, id], Some(ch()?))?;
-    let y_inertial = inertial_net.add_gate("y", GateKind::Nor, &[m1, m2], Some(ch()?))?;
+    let m1 = icells.add(&mut inertial_net, "n1", GateKind::Nor, ia, ib)?;
+    let m2 = icells.add(&mut inertial_net, "n2", GateKind::Nor, ic, id)?;
+    let y_inertial = icells.add(&mut inertial_net, "y", GateKind::Nor, m1, m2)?;
 
     // Stimulus: a and b rise 12 ps apart (MIS region on gate n1); c stays
     // low, d pulses briefly.
-    let ta = DigitalTrace::with_edges(false, vec![(ps(200.0), true)])?;
-    let tb = DigitalTrace::with_edges(false, vec![(ps(212.0), true)])?;
-    let tc_ = DigitalTrace::constant(false);
-    let td = DigitalTrace::with_edges(false, vec![(ps(230.0), true), (ps(260.0), false)])?;
+    let inputs = [
+        DigitalTrace::with_edges(false, vec![(ps(200.0), true)])?,
+        DigitalTrace::with_edges(false, vec![(ps(212.0), true)])?,
+        DigitalTrace::constant(false),
+        DigitalTrace::with_edges(false, vec![(ps(230.0), true), (ps(260.0), false)])?,
+    ];
 
-    let hybrid_out = hybrid_net.run(&[ta.clone(), tb.clone(), tc_.clone(), td.clone()])?;
-    let inertial_out = inertial_net.run(&[ta, tb, tc_, td])?;
-
-    let describe = |name: &str, t: &DigitalTrace| {
+    // Both evaluations run allocation-free through one warm arena.
+    let mut arena = TraceArena::new();
+    let describe = |name: &str, t: TraceRef<'_>| {
         print!("  {name}: initial {} |", u8::from(t.initial_value()));
-        for e in t.edges() {
+        for k in 0..t.len() {
             print!(
                 " {}@{:.2}ps",
-                if e.rising { "rise" } else { "fall" },
-                to_ps(e.time)
+                if t.rising(k) { "rise" } else { "fall" },
+                to_ps(t.times()[k])
             );
         }
         println!();
     };
+    let show = |arena: &TraceArena, label: &str, ids: [SignalId; 3]| {
+        println!("{label}:");
+        for (name, id) in ["n1", "n2", "y "].into_iter().zip(ids) {
+            describe(name, arena.trace(id.index()));
+        }
+        println!();
+    };
 
-    println!("hybrid-channel network:");
-    describe("n1", &hybrid_out[4]);
-    describe("n2", &hybrid_out[5]);
-    describe("y ", &hybrid_out[6]);
-    let _ = y_hybrid;
-    println!();
-    println!("inertial-channel network:");
-    describe("n1", &inertial_out[4]);
-    describe("n2", &inertial_out[5]);
-    describe("y ", &inertial_out[6]);
-    let _ = y_inertial;
-    println!();
+    hybrid_net.run_in(&inputs, &mut arena)?; // warm-up sizes the arena
+    hybrid_net.run_in(&inputs, &mut arena)?; // steady state: zero allocations
+    show(&arena, "hybrid-channel network", [n1, n2, y_hybrid]);
+    inertial_net.run_in(&inputs, &mut arena)?;
+    show(&arena, "inertial-channel network", [m1, m2, y_inertial]);
+
     println!("Note how the hybrid n1 sees the 12 ps input separation (MIS speed-up),");
     println!("while the inertial n1 applies one fixed delay regardless; downstream, the");
     println!("30 ps pulse on d may survive or die depending on the channel model.");

@@ -20,13 +20,16 @@ cargo test -q --workspace --offline
 # BENCH_*.json baselines; >25 % median regression on any existing id
 # fails — see scripts/bench_diff.sh; refresh baselines with a full
 # `cargo bench -p mis-bench`). The same leg re-runs the counting-
-# allocator suite explicitly: the zero-allocation guarantee of the
-# arena engine is a performance invariant and belongs with the perf
-# gate (it also runs as part of the workspace tests above).
-# Enable with CI_BENCH=1.
+# allocator suites explicitly: the zero-allocation guarantees of the
+# arena engine (mis-digital) and of the event-queue simulator (mis-sim,
+# on the committed C432 fixture) are performance invariants and belong
+# with the perf gate (they also run as part of the workspace tests
+# above). Enable with CI_BENCH=1.
 if [[ "${CI_BENCH:-0}" != "0" ]]; then
     echo "== allocation-counter gate (crates/digital/tests/alloc.rs)"
     cargo test -q -p mis-digital --test alloc --offline
+    echo "== allocation-counter gate (crates/sim/tests/alloc.rs)"
+    cargo test -q -p mis-sim --test alloc --offline
     echo "== bench regression gate (scripts/bench_diff.sh)"
     scripts/bench_diff.sh
 fi

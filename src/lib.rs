@@ -18,6 +18,11 @@
 //!   interpolated `δ↓(Δ)`/`δ↑(Δ, V_N)` delay surfaces built once from the
 //!   exact model under an error budget, serialized to committable text,
 //!   and consumed by `digital`'s cached fast-path channel.
+//! * [`sim`] (`mis-sim`) — event-driven netlist simulation at circuit
+//!   scale: ISCAS-85 `.bench` ingestion (committed C17 and C432-scale
+//!   fixtures under `data/bench/`), `Arc`-shared standard-cell libraries,
+//!   and the event-queue evaluator bit-identical to `digital`'s
+//!   levelized sweep.
 //! * [`waveform`] (`mis-waveform`) — analog waveforms, digital traces,
 //!   digitization, deviation area, random trace generation.
 //! * [`num`] (`mis-num`) / [`linalg`] (`mis-linalg`) — the numerical
@@ -56,4 +61,5 @@ pub use mis_core as core;
 pub use mis_digital as digital;
 pub use mis_linalg as linalg;
 pub use mis_num as num;
+pub use mis_sim as sim;
 pub use mis_waveform as waveform;
