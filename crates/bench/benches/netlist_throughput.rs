@@ -2,7 +2,7 @@
 //! benchmark circuits, the workload of the interconnected-gates
 //! follow-up paper (Ferdowsi et al., arXiv:2403.10540).
 //!
-//! Two engines over the same circuits and channel objects:
+//! Three engines over the same circuits and channel objects:
 //!
 //! * `run_in` ids — `Network::run_in`, the levelized topological sweep
 //!   into a warm `TraceArena` (zero heap allocations, asserted by
@@ -13,14 +13,18 @@
 //!   The gap between a `sim` id and its `run_in` twin is the price of
 //!   event-queue scheduling — the cost the paper's full-simulator
 //!   setting actually measures.
+//! * `parN` ids — `mis_sim::ParallelSimulator::run_in` with N workers,
+//!   the per-cone engine (scoped thread spawns timed; worker arenas
+//!   warm), bit-identical to `sim` by the property suite.
 //!
 //! Circuits: the eight-stage reconvergent NOR chain and the ISCAS-85
 //! C17 cut (from `mis_digital::netlists`), the depth-4 inverter tree,
-//! and the committed C432-scale `.bench` fixture (36 inputs, 132 gates,
-//! `data/bench/c432.bench`) under both the Arc-shared cached-hybrid
-//! cell library and the inertial baseline. The characterized NOR tables
-//! come from the committed `data/charlib/nor_paper.mislib` — no
-//! re-characterization at bench startup.
+//! and the committed C432-scale (36 inputs, 132 gates) and C880-scale
+//! (60 inputs, 365 gates) `.bench` fixtures under both the Arc-shared
+//! cached-hybrid cell library and the inertial baseline. The
+//! characterized NOR tables come from the committed
+//! `data/charlib/nor_paper.mislib` — no re-characterization at bench
+//! startup.
 //!
 //! The `run_alloc` ids measure the legacy allocating `Network::run`
 //! wrapper; the gap to the `run_in` twin is the allocation cost a warm
@@ -34,7 +38,7 @@ use std::path::PathBuf;
 use mis_charlib::CharLib;
 use mis_digital::netlists::{self, CachedHybridFactory, ChannelPerGate};
 use mis_digital::{GateKind, InertialChannel, Network, TraceTransform};
-use mis_sim::{BenchNetlist, CellLibrary, Simulator};
+use mis_sim::{BenchNetlist, CellLibrary, ParallelSimulator, Simulator};
 use mis_testkit::bench::Harness;
 use mis_waveform::generate::{Assignment, TraceConfig};
 use mis_waveform::units::ps;
@@ -100,10 +104,30 @@ fn bench_sim(
     net: &Network,
     inputs: &[DigitalTrace],
 ) {
-    let mut sim = Simulator::new(net);
+    let mut sim = Simulator::new(net).expect("engine construction");
     sim.run_in(inputs, arena).expect("warm-up run");
     h.bench(id, move || {
         sim.run_in(inputs, arena).expect("sim run");
+        arena.total_edges()
+    });
+}
+
+/// Benchmarks one parallel per-cone evaluation: scoped worker threads
+/// over warm worker arenas, merged into the shared result arena. The
+/// thread spawns are inside the timed region — they are part of what a
+/// caller pays per evaluation.
+fn bench_par(
+    h: &mut Harness,
+    arena: &mut TraceArena,
+    id: &str,
+    net: &Network,
+    inputs: &[DigitalTrace],
+    workers: usize,
+) {
+    let mut par = ParallelSimulator::new(net, workers).expect("partitioning");
+    par.run_in(inputs, arena).expect("warm-up run");
+    h.bench(id, move || {
+        par.run_in(inputs, arena).expect("parallel run");
         arena.total_edges()
     });
 }
@@ -123,9 +147,12 @@ fn main() {
     let c17_inertial = netlists::c17(&mut ChannelPerGate(inertial)).expect("netlist");
     let tree = netlists::fanout_tree(4, &mut inertial).expect("netlist");
 
-    let c432_text = std::fs::read_to_string(workspace_root().join("data/bench/c432.bench"))
-        .expect("committed c432 fixture");
-    let c432 = BenchNetlist::parse(&c432_text).expect("fixture parses");
+    let load_fixture = |name: &str| {
+        let text = std::fs::read_to_string(workspace_root().join("data/bench").join(name))
+            .expect("committed fixture");
+        BenchNetlist::parse(&text).expect("fixture parses")
+    };
+    let c432 = load_fixture("c432.bench");
     let c432_cached = c432
         .lower(&CellLibrary::hybrid_shared(
             std::sync::Arc::clone(cached.shared()),
@@ -133,6 +160,16 @@ fn main() {
         ))
         .expect("lowering");
     let c432_inertial = c432
+        .lower(&CellLibrary::inertial(inertial_proto()))
+        .expect("lowering");
+    let c880 = load_fixture("c880.bench");
+    let c880_cached = c880
+        .lower(&CellLibrary::hybrid_shared(
+            std::sync::Arc::clone(cached.shared()),
+            Some(inertial_proto()),
+        ))
+        .expect("lowering");
+    let c880_inertial = c880
         .lower(&CellLibrary::inertial(inertial_proto()))
         .expect("lowering");
 
@@ -146,6 +183,7 @@ fn main() {
     ];
     let tree_in = vec![pair_inputs(0x7ee).remove(0)];
     let c432_in = wide_inputs(36, 0x432);
+    let c880_in = wide_inputs(60, 0x880);
 
     let mut arena = TraceArena::new();
 
@@ -224,6 +262,30 @@ fn main() {
         &c432_inertial.net,
         &c432_in,
     );
+
+    // C880-scale: the parallel tier. `sim` is the serial event queue;
+    // `par2`/`par4` run the per-cone engine at 2 and 4 workers (scoped
+    // thread spawns inside the timed region — see EXPERIMENTS.md for the
+    // measured speedups and the hardware caveat on 1-CPU containers).
+    for (tag, lowered) in [("cached", &c880_cached), ("inertial", &c880_inertial)] {
+        bench_sim(
+            &mut h,
+            &mut arena,
+            &format!("c880_{tag}/sim"),
+            &lowered.net,
+            &c880_in,
+        );
+        for workers in [2usize, 4] {
+            bench_par(
+                &mut h,
+                &mut arena,
+                &format!("c880_{tag}/par{workers}"),
+                &lowered.net,
+                &c880_in,
+                workers,
+            );
+        }
+    }
 
     h.bench("nor_chain8_cached/run_alloc", || {
         chain_cached.net.run(&chain_in).expect("run").len()

@@ -6,12 +6,19 @@
 //! * `data/charlib/nand_dual.mislib` — the dual NAND gate characterized
 //!   the same way;
 //! * `data/bench/c432.bench` — the C432-scale benchmark circuit (see
-//!   below), emitted through the canonical `mis-sim` `.bench` writer.
+//!   below), emitted through the canonical `mis-sim` `.bench` writer;
+//! * `data/bench/c880.bench` — the C880-scale 8-bit ALU (see below),
+//!   the parallel-evaluation workload.
 //!
 //! The committed files let benches, examples and tests skip
 //! re-characterization; this binary exists so they stay reproducible.
 //! Run from anywhere inside the workspace:
 //! `cargo run --release -p mis-bench --bin make_data`
+//!
+//! With `--check`, nothing is written: every artifact is regenerated
+//! in memory and compared byte-for-byte against the committed file, and
+//! any drift (or a missing file) fails the run — the reproducibility
+//! gate `scripts/ci.sh` runs in its `CI_BENCH=1` leg.
 //!
 //! # The C432-scale circuit
 //!
@@ -47,23 +54,22 @@ fn write_file(path: &Path, contents: &str) {
     println!("wrote {}", path.display());
 }
 
-fn main() {
-    let root = workspace_root();
+/// Builds every committed `data/` artifact in memory, as
+/// (workspace-relative path, exact file contents) pairs.
+fn build_artifacts() -> Vec<(&'static str, String)> {
     let cfg = CharConfig::default();
 
     println!("characterizing NOR (paper Table 1, default budget)...");
     let nor = CharLib::nor(&NorParams::paper_table1(), &cfg).expect("NOR characterization");
-    write_file(&root.join("data/charlib/nor_paper.mislib"), &nor.to_text());
 
     println!("characterizing dual NAND...");
     let nand = CharLib::nand(&NandParams::from_dual(NorParams::paper_table1()), &cfg)
         .expect("NAND characterization");
-    write_file(&root.join("data/charlib/nand_dual.mislib"), &nand.to_text());
 
     let c432 = c432_reconstruction();
-    let mut text = String::new();
+    let mut c432_text = String::new();
     let _ = writeln!(
-        text,
+        c432_text,
         "# c432 — C432-scale priority-channel interrupt controller.\n\
          # Structural reconstruction after Hansen/Yalcin/Hayes (1999); NOT the\n\
          # byte-identical ISCAS-85 distribution netlist. {} inputs, {} outputs,\n\
@@ -72,8 +78,70 @@ fn main() {
         c432.outputs().len(),
         c432.gates().len()
     );
-    text.push_str(&c432.to_text());
-    write_file(&root.join("data/bench/c432.bench"), &text);
+    c432_text.push_str(&c432.to_text());
+
+    let c880 = c880_reconstruction();
+    let mut c880_text = String::new();
+    let _ = writeln!(
+        c880_text,
+        "# c880 — C880-scale 8-bit ALU.\n\
+         # Structural reconstruction after Hansen/Yalcin/Hayes (1999); NOT the\n\
+         # byte-identical ISCAS-85 distribution netlist. {} inputs, {} outputs,\n\
+         # {} gates, fan-in up to 8. Regenerate: cargo run -p mis-bench --bin make_data",
+        c880.inputs().len(),
+        c880.outputs().len(),
+        c880.gates().len()
+    );
+    c880_text.push_str(&c880.to_text());
+
+    vec![
+        ("data/charlib/nor_paper.mislib", nor.to_text()),
+        ("data/charlib/nand_dual.mislib", nand.to_text()),
+        ("data/bench/c432.bench", c432_text),
+        ("data/bench/c880.bench", c880_text),
+    ]
+}
+
+fn main() {
+    let check = std::env::args().skip(1).any(|a| a == "--check");
+    let root = workspace_root();
+    let artifacts = build_artifacts();
+    if !check {
+        for (rel, contents) in &artifacts {
+            write_file(&root.join(rel), contents);
+        }
+        return;
+    }
+    // --check: regenerate in memory only and fail on any drift against
+    // the committed bytes, so the committed artifacts provably remain a
+    // pure function of this binary.
+    let mut drift = 0usize;
+    for (rel, contents) in &artifacts {
+        let path = root.join(rel);
+        match fs::read_to_string(&path) {
+            Ok(committed) if committed == *contents => println!("ok       {rel}"),
+            Ok(committed) => {
+                println!(
+                    "DRIFT    {rel}: committed {} bytes != regenerated {} bytes",
+                    committed.len(),
+                    contents.len()
+                );
+                drift += 1;
+            }
+            Err(e) => {
+                println!("MISSING  {rel}: {e}");
+                drift += 1;
+            }
+        }
+    }
+    if drift > 0 {
+        eprintln!(
+            "make_data --check: FAILED ({drift} artifact(s) drifted; \
+             refresh with `cargo run --release -p mis-bench --bin make_data`)"
+        );
+        std::process::exit(1);
+    }
+    println!("make_data --check: OK ({} artifacts)", artifacts.len());
 }
 
 /// Builds the C432-scale interrupt controller: enable bus `E`, request
@@ -174,5 +242,272 @@ fn c432_reconstruction() -> BenchNetlist {
     let outputs = ["PA", "PB", "PC", "CHAN3", "CHAN2", "CHAN1", "CHAN0"]
         .map(String::from)
         .to_vec();
+    BenchNetlist::new(inputs, outputs, gates).expect("reconstruction is well-formed")
+}
+
+/// Builds the C880-scale 8-bit ALU: operand buses `A`/`B` through an
+/// 8-function logic/arithmetic unit (two 4-bit carry-lookahead adder
+/// blocks, function select `F3 F2 F1`, output inversion `F0`, result
+/// gating mask `G`), a `C`/`D` pass bus with select/enable (`PS0`,
+/// `TEN`) and enable mask `E`, result flags (carry, overflow, parity,
+/// zero), an unsigned comparator (`EQ`, `AGB`), and a highest-set-bit
+/// priority encoder over the pass bus (`K2..K0`). 60 inputs, 26
+/// outputs, 365 gates, fan-in up to 8 — and, deliberately, many
+/// output cones that only partially overlap: the workload the parallel
+/// per-cone engine partitions.
+fn c880_reconstruction() -> BenchNetlist {
+    let mut inputs = Vec::new();
+    let mut gates: Vec<BenchGate> = Vec::new();
+    let mut gate = |output: &str, func: BenchFunc, ops: &[String]| {
+        gates.push(BenchGate {
+            output: output.to_owned(),
+            func,
+            inputs: ops.to_vec(),
+        });
+    };
+    let bus = |name: &str, i: usize| format!("{name}{i}");
+    for b in ["A", "B", "C", "D", "E", "G"] {
+        for i in 0..8 {
+            inputs.push(bus(b, i));
+        }
+    }
+    for name in [
+        "F0", "F1", "F2", "F3", "CIN", "INV", "PS0", "PS1", "TEN", "ZEN", "PEN", "OEN",
+    ] {
+        inputs.push(name.to_owned());
+    }
+    // Front inverter ranks (the original's big input-inverter tier).
+    for b in ["A", "B", "C", "D", "E", "G"] {
+        for i in 0..8 {
+            gate(&format!("N{b}{i}"), BenchFunc::Not, &[bus(b, i)]);
+        }
+    }
+    for f in ["F1", "F2", "F3", "PS0"] {
+        gate(&format!("N{f}"), BenchFunc::Not, &[f.to_string()]);
+    }
+    // Adder operand: B conditionally inverted (add/subtract control).
+    for i in 0..8 {
+        gate(&bus("XB", i), BenchFunc::Xor, &[bus("B", i), "INV".into()]);
+    }
+    // Propagate/generate, then two 4-bit carry-lookahead blocks.
+    for i in 0..8 {
+        gate(&bus("PP", i), BenchFunc::Xor, &[bus("A", i), bus("XB", i)]);
+        gate(&bus("GN", i), BenchFunc::And, &[bus("A", i), bus("XB", i)]);
+    }
+    for block in 0..2usize {
+        let base = 4 * block;
+        let cin = if block == 0 {
+            "CIN".to_owned()
+        } else {
+            "CY4".into()
+        };
+        for i in 1..=4usize {
+            let m = base + i;
+            let carry = if m == 8 {
+                "COUT".to_owned()
+            } else {
+                bus("CY", m)
+            };
+            let mut terms = vec![bus("GN", m - 1)];
+            for j in (0..i - 1).rev() {
+                // ANDs of the propagate run above generate bit `base+j`.
+                let name = format!("CY{m}T{j}");
+                let mut ops: Vec<String> = (base + j + 1..m).map(|k| bus("PP", k)).collect();
+                ops.push(bus("GN", base + j));
+                gate(&name, BenchFunc::And, &ops);
+                terms.push(name);
+            }
+            let tc = format!("CY{m}TC");
+            let mut ops: Vec<String> = (base..m).map(|k| bus("PP", k)).collect();
+            ops.push(cin.clone());
+            gate(&tc, BenchFunc::And, &ops);
+            terms.push(tc);
+            gate(&carry, BenchFunc::Or, &terms);
+        }
+    }
+    // Sum bits and the overflow flag (carry-into vs carry-out of bit 7).
+    gate(&bus("S", 0), BenchFunc::Xor, &[bus("PP", 0), "CIN".into()]);
+    for i in 1..8 {
+        gate(&bus("S", i), BenchFunc::Xor, &[bus("PP", i), bus("CY", i)]);
+    }
+    gate("OVX", BenchFunc::Xor, &[bus("CY", 7), "COUT".into()]);
+    gate("OVF", BenchFunc::And, &["OVX".into(), "OEN".into()]);
+    // The logic unit: six bitwise functions (AND/OR through the inverter
+    // ranks, by De Morgan — mixes the gate census like the original).
+    for i in 0..8 {
+        gate(&bus("AB", i), BenchFunc::Nor, &[bus("NA", i), bus("NB", i)]);
+        gate(
+            &bus("OB", i),
+            BenchFunc::Nand,
+            &[bus("NA", i), bus("NB", i)],
+        );
+        gate(&bus("NDB", i), BenchFunc::Nand, &[bus("A", i), bus("B", i)]);
+        gate(&bus("NRB", i), BenchFunc::Nor, &[bus("A", i), bus("B", i)]);
+        gate(&bus("XR", i), BenchFunc::Xor, &[bus("A", i), bus("B", i)]);
+        gate(&bus("Q", i), BenchFunc::Xnor, &[bus("A", i), bus("B", i)]);
+    }
+    // 3-bit function decode (F3 F2 F1) and the per-bit 8-way mux.
+    for k in 0..8usize {
+        let pick = |set: bool, name: &str| {
+            if set {
+                name.to_owned()
+            } else {
+                format!("N{name}")
+            }
+        };
+        gate(
+            &bus("DEC", k),
+            BenchFunc::And,
+            &[
+                pick(k & 4 != 0, "F3"),
+                pick(k & 2 != 0, "F2"),
+                pick(k & 1 != 0, "F1"),
+            ],
+        );
+    }
+    for i in 0..8 {
+        let fns = [
+            bus("S", i),
+            bus("AB", i),
+            bus("OB", i),
+            bus("XR", i),
+            bus("NDB", i),
+            bus("NRB", i),
+            bus("Q", i),
+            bus("A", i),
+        ];
+        let mut terms = Vec::with_capacity(8);
+        for (k, f) in fns.iter().enumerate() {
+            let name = format!("M{i}K{k}");
+            gate(&name, BenchFunc::And, &[bus("DEC", k), f.clone()]);
+            terms.push(name);
+        }
+        gate(&bus("M", i), BenchFunc::Or, &terms);
+        gate(&bus("Y", i), BenchFunc::Xor, &[bus("M", i), "F0".into()]);
+        gate(&bus("NY", i), BenchFunc::Not, &[bus("Y", i)]);
+        gate(&bus("R", i), BenchFunc::Nor, &[bus("NY", i), bus("NG", i)]);
+    }
+    // Result flags: zero detect and gated parity.
+    gate(
+        "Z0",
+        BenchFunc::Nor,
+        &(0..4).map(|i| bus("Y", i)).collect::<Vec<_>>(),
+    );
+    gate(
+        "Z1",
+        BenchFunc::Nor,
+        &(4..8).map(|i| bus("Y", i)).collect::<Vec<_>>(),
+    );
+    gate("ZA", BenchFunc::And, &["Z0".into(), "Z1".into()]);
+    gate("ZERO", BenchFunc::And, &["ZA".into(), "ZEN".into()]);
+    let parity_tree = |gate: &mut dyn FnMut(&str, BenchFunc, &[String]), tag: &str, leaf: &str| {
+        for p in 0..4 {
+            gate(
+                &format!("{tag}{p}"),
+                BenchFunc::Xor,
+                &[bus(leaf, 2 * p), bus(leaf, 2 * p + 1)],
+            );
+        }
+        gate(
+            &format!("{tag}A"),
+            BenchFunc::Xor,
+            &[format!("{tag}0"), format!("{tag}1")],
+        );
+        gate(
+            &format!("{tag}B"),
+            BenchFunc::Xor,
+            &[format!("{tag}2"), format!("{tag}3")],
+        );
+        gate(
+            &format!("{tag}R"),
+            BenchFunc::Xor,
+            &[format!("{tag}A"), format!("{tag}B")],
+        );
+    };
+    parity_tree(&mut gate, "PY", "Y");
+    gate("PAR", BenchFunc::And, &["PYR".into(), "PEN".into()]);
+    // Pass bus: C or D (PS0) under the TEN enable, masked by E.
+    gate("PDEC0", BenchFunc::And, &["TEN".into(), "NPS0".into()]);
+    gate("PDEC1", BenchFunc::And, &["TEN".into(), "PS0".into()]);
+    gate("NPD0", BenchFunc::Not, &["PDEC0".into()]);
+    gate("NPD1", BenchFunc::Not, &["PDEC1".into()]);
+    for i in 0..8 {
+        gate(&bus("U", i), BenchFunc::Nor, &[bus("NC", i), "NPD0".into()]);
+        gate(&bus("V", i), BenchFunc::Nor, &[bus("ND", i), "NPD1".into()]);
+        gate(&bus("TV", i), BenchFunc::Or, &[bus("U", i), bus("V", i)]);
+        gate(&bus("NTV", i), BenchFunc::Not, &[bus("TV", i)]);
+        gate(&bus("T", i), BenchFunc::Nor, &[bus("NTV", i), bus("NE", i)]);
+    }
+    parity_tree(&mut gate, "PX", "T");
+    gate("PT", BenchFunc::Xor, &["PXR".into(), "PS1".into()]);
+    // Unsigned comparator: equality tree plus MSB-first greater-than.
+    gate(
+        "QA",
+        BenchFunc::And,
+        &(0..4).map(|i| bus("Q", i)).collect::<Vec<_>>(),
+    );
+    gate(
+        "QB",
+        BenchFunc::And,
+        &(4..8).map(|i| bus("Q", i)).collect::<Vec<_>>(),
+    );
+    gate("EQ", BenchFunc::And, &["QA".into(), "QB".into()]);
+    gate("EA5", BenchFunc::And, &[bus("Q", 7), bus("Q", 6)]);
+    for i in (0..5).rev() {
+        gate(
+            &bus("EA", i),
+            BenchFunc::And,
+            &[bus("EA", i + 1), bus("Q", i + 1)],
+        );
+    }
+    gate("GT7", BenchFunc::And, &[bus("A", 7), bus("NB", 7)]);
+    gate(
+        "GT6",
+        BenchFunc::And,
+        &[bus("A", 6), bus("NB", 6), bus("Q", 7)],
+    );
+    for i in (0..6).rev() {
+        gate(
+            &bus("GT", i),
+            BenchFunc::And,
+            &[bus("A", i), bus("NB", i), bus("EA", i)],
+        );
+    }
+    gate(
+        "AGB",
+        BenchFunc::Or,
+        &(0..8).map(|i| bus("GT", i)).collect::<Vec<_>>(),
+    );
+    // Highest-set-bit priority encoder over the pass bus.
+    gate("NS6", BenchFunc::Not, &[bus("T", 7)]);
+    for i in (0..6).rev() {
+        gate(
+            &bus("NS", i),
+            BenchFunc::Nor,
+            &(i + 1..8).map(|j| bus("T", j)).collect::<Vec<_>>(),
+        );
+    }
+    for i in 0..7 {
+        gate(&bus("H", i), BenchFunc::And, &[bus("T", i), bus("NS", i)]);
+    }
+    gate(
+        "K0",
+        BenchFunc::Or,
+        &["H1".into(), "H3".into(), "H5".into(), bus("T", 7)],
+    );
+    gate(
+        "K1",
+        BenchFunc::Or,
+        &["H2".into(), "H3".into(), "H6".into(), bus("T", 7)],
+    );
+    gate(
+        "K2",
+        BenchFunc::Or,
+        &["H4".into(), "H5".into(), "H6".into(), bus("T", 7)],
+    );
+    let mut outputs: Vec<String> = (0..8).map(|i| bus("R", i)).collect();
+    outputs.extend(["COUT", "OVF", "PAR", "ZERO"].map(String::from));
+    outputs.extend((0..8).map(|i| bus("T", i)));
+    outputs.extend(["PT", "EQ", "AGB", "K2", "K1", "K0"].map(String::from));
     BenchNetlist::new(inputs, outputs, gates).expect("reconstruction is well-formed")
 }

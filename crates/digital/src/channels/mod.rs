@@ -14,7 +14,14 @@ use crate::SimError;
 
 /// A single-input delay channel: a causal transform from an input binary
 /// trace to an output binary trace.
-pub trait TraceTransform {
+///
+/// `Send + Sync` is a supertrait: a channel is immutable table/parameter
+/// data during `apply*` (per-application scheduler state lives on the
+/// stack), so one instance may be read from many threads at once. This is
+/// what lets a [`crate::Network`] — which stores its channels behind
+/// `Box<dyn TraceTransform>` — be shared across the `mis-sim` parallel
+/// workers by reference.
+pub trait TraceTransform: Send + Sync {
     /// Applies the channel to a full input trace.
     ///
     /// # Errors
@@ -44,7 +51,11 @@ pub trait TraceTransform {
 /// A two-input delay channel (the hybrid NOR model): consumes both input
 /// traces directly, which is what lets it see the input separation `Δ`
 /// that single-input channels structurally cannot.
-pub trait TwoInputTransform {
+///
+/// `Send + Sync` is a supertrait for the same reason as on
+/// [`TraceTransform`]: applications never mutate the channel, so shared
+/// cross-thread reads are sound by construction.
+pub trait TwoInputTransform: Send + Sync {
     /// Applies the channel to a pair of input traces.
     ///
     /// # Errors

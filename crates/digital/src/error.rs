@@ -15,6 +15,16 @@ pub enum SimError {
         /// Description of the problem.
         reason: String,
     },
+    /// The network exceeds an engine's index width (the `mis-sim`
+    /// engines store signal and span indices as `u32`). Surfaced as an
+    /// error instead of a construction panic so callers feeding untrusted
+    /// netlists can reject them gracefully.
+    NetworkTooLarge {
+        /// The offending count (signals or fan-out edges).
+        count: usize,
+        /// The engine's maximum representable count.
+        max: usize,
+    },
     /// A trace violated an invariant while being processed.
     Trace(mis_waveform::WaveformError),
     /// The underlying hybrid model failed.
@@ -29,6 +39,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidChannel { reason } => write!(f, "invalid channel: {reason}"),
             SimError::Network { reason } => write!(f, "network error: {reason}"),
+            SimError::NetworkTooLarge { count, max } => write!(
+                f,
+                "network too large for the engine's index width: {count} > {max}"
+            ),
             SimError::Trace(e) => write!(f, "trace failure: {e}"),
             SimError::Model(e) => write!(f, "hybrid model failure: {e}"),
             SimError::Numeric(e) => write!(f, "numeric failure: {e}"),
@@ -78,5 +92,11 @@ mod tests {
         assert!(e.to_string().contains("tau"));
         let e = SimError::from(mis_waveform::WaveformError::Empty);
         assert!(e.source().is_some());
+        let e = SimError::NetworkTooLarge {
+            count: 1 << 33,
+            max: u32::MAX as usize,
+        };
+        assert!(e.to_string().contains("too large"));
+        assert!(e.source().is_none());
     }
 }

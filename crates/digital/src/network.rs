@@ -506,6 +506,17 @@ mod tests {
     }
 
     #[test]
+    fn network_is_shareable_across_threads() {
+        // The channel traits carry `Send + Sync` supertraits, so a built
+        // network (channels boxed behind `dyn` pointers included) can be
+        // borrowed by parallel evaluation workers. A compile-time fact,
+        // asserted here so a regression is a readable test failure rather
+        // than a distant trait-bound error in `mis-sim`.
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<Network>();
+    }
+
+    #[test]
     fn arity_and_reference_validation() {
         let mut net = Network::new();
         let a = net.add_input("a");

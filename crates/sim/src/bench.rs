@@ -195,13 +195,19 @@ impl BenchNetlist {
 
     /// Parses `.bench` text. Blank lines and `#` comments (whole-line or
     /// trailing) are ignored; `INPUT`/`OUTPUT` and function names are
-    /// case-insensitive; whitespace is free around every token.
+    /// case-insensitive; whitespace is free around every token. Files
+    /// exported from Windows tooling parse unchanged: CRLF line endings
+    /// are accepted (both by `str::lines` and, for stray `\r`, by token
+    /// trimming), and a leading UTF-8 byte-order mark is ignored.
     ///
     /// # Errors
     ///
     /// One [`BenchError`] variant per malformed-input class — see the
     /// variant docs.
     pub fn parse(text: &str) -> Result<Self, BenchError> {
+        // The BOM would otherwise glue itself onto the first token and
+        // turn `INPUT(...)` into an unrecognized keyword.
+        let text = text.strip_prefix('\u{FEFF}').unwrap_or(text);
         let mut inputs = Vec::new();
         let mut outputs = Vec::new();
         let mut gates: Vec<BenchGate> = Vec::new();
@@ -691,6 +697,20 @@ mod tests {
                 "name {bad:?} must be rejected, got {r:?}"
             );
         }
+    }
+
+    #[test]
+    fn crlf_and_bom_parse_like_bare_newlines() {
+        let plain = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+        let windows = "\u{FEFF}INPUT(a)\r\nINPUT(b)\r\nOUTPUT(y)\r\ny = NAND(a, b)\r\n";
+        assert_eq!(
+            BenchNetlist::parse(windows).unwrap(),
+            BenchNetlist::parse(plain).unwrap()
+        );
+        // A BOM with no following newline convention still parses, and a
+        // file ending in a bare `\r` (no final newline) does too.
+        let stub = "\u{FEFF}INPUT(a)\ny = NOT(a)\r";
+        assert_eq!(BenchNetlist::parse(stub).unwrap().gates().len(), 1);
     }
 
     #[test]

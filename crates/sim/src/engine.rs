@@ -10,9 +10,9 @@
 //!
 //! * **Dependency counting.** Each gate waits until every fan-in signal
 //!   is sealed; fan-out edges are stored in a flat CSR layout built once
-//!   at construction. Declaration order is irrelevant — any acyclic
-//!   wiring evaluates, which is what `.bench` circuits (with their
-//!   forward references) need.
+//!   at construction ([`crate::kernel::FanoutCsr`]). Declaration order
+//!   is irrelevant — any acyclic wiring evaluates, which is what
+//!   `.bench` circuits (with their forward references) need.
 //! * **Time-ordered ready queue.** A ready gate enters a binary min-heap
 //!   keyed by its *activation time* — the earliest input edge it will
 //!   see (`+∞` for all-constant inputs) — with ties broken by signal
@@ -20,13 +20,12 @@
 //!   makes it deterministic.
 //! * **Identical kernels.** A popped gate is evaluated by the very same
 //!   fused ideal-gate + channel passes `Network::run_in` uses
-//!   ([`mis_digital::gates::combine2_into`], `apply_into`/`apply2_into`
-//!   against the shared [`TraceArena`] staging buffers). Because each
-//!   gate's output depends only on its already-sealed fan-in traces —
-//!   never on queue order — the engine is **bit-identical** to the
-//!   levelized sweep by confluence, a property the `mis-sim` suite
-//!   asserts on every `mis_digital::netlists` topology and on random
-//!   DAGs.
+//!   ([`crate::kernel::eval_signal_into`], shared with the parallel
+//!   per-cone engine). Because each gate's output depends only on its
+//!   already-sealed fan-in traces — never on queue order — the engine is
+//!   **bit-identical** to the levelized sweep by confluence, a property
+//!   the `mis-sim` suite asserts on every `mis_digital::netlists`
+//!   topology and on random DAGs.
 //!
 //! Like the sweep, a warm run is allocation-free: the heap, the
 //! dependency counters and the span map are preallocated at
@@ -46,7 +45,7 @@
 //! let ch = Box::new(InertialChannel::symmetric(ps(30.0), ps(30.0))?);
 //! let y = net.add_gate("y", GateKind::Not, &[x], Some(ch))?;
 //! let input = DigitalTrace::with_edges(false, vec![(ps(100.0), true)])?;
-//! let mut sim = Simulator::new(&net);
+//! let mut sim = Simulator::new(&net)?;
 //! let mut arena = TraceArena::new();
 //! sim.run_in(&[input], &mut arena)?;
 //! let out = sim.trace(&arena, y);
@@ -58,8 +57,10 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use mis_digital::{gates, GateKind, Network, SignalId, SignalSource, SimError};
+use mis_digital::{Network, SignalId, SignalSource, SimError};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
+
+use crate::kernel::{self, FanoutCsr};
 
 /// A gate whose fan-ins are all sealed, keyed for the ready queue.
 #[derive(Debug, Clone, Copy)]
@@ -104,13 +105,10 @@ impl Ord for Ready {
 #[derive(Debug)]
 pub struct Simulator<'n> {
     net: &'n Network,
-    /// CSR row starts into `fanout`, one entry per signal plus a tail.
-    fanout_start: Vec<u32>,
-    /// Dependent gate signal indices, grouped by source signal.
-    fanout: Vec<u32>,
-    /// Fan-in degree per signal (with multiplicity; 0 for inputs).
-    indeg: Vec<u32>,
-    /// Remaining unsealed fan-ins per signal, reset from `indeg` each run.
+    /// Fan-out CSR + fan-in degrees, built once at construction.
+    csr: FanoutCsr,
+    /// Remaining unsealed fan-ins per signal, reset from the CSR's
+    /// degrees each run.
     deps_left: Vec<u32>,
     /// Arena span holding each signal's trace, filled during a run.
     span_of: Vec<u32>,
@@ -122,59 +120,20 @@ impl<'n> Simulator<'n> {
     /// Prepares an engine for `net`: builds the fan-out CSR and sizes
     /// every per-run buffer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on networks with more than `u32::MAX` signals.
-    #[must_use]
-    pub fn new(net: &'n Network) -> Self {
+    /// [`SimError::NetworkTooLarge`] when the network's signal or
+    /// fan-out-edge count exceeds the engine's `u32` index width.
+    pub fn new(net: &'n Network) -> Result<Self, SimError> {
         let n = net.signal_count();
-        assert!(u32::try_from(n).is_ok(), "network too large for u32 ids");
-        let mut indeg = vec![0u32; n];
-        let mut counts = vec![0u32; n];
-        let for_each_edge = |f: &mut dyn FnMut(usize, usize)| {
-            for s in 0..n {
-                let id = net.signal_id(s).expect("s < signal_count");
-                match net.source(id) {
-                    SignalSource::Input => {}
-                    SignalSource::Gate { inputs, .. } => {
-                        for i in inputs {
-                            f(i.index(), s);
-                        }
-                    }
-                    SignalSource::TwoInputChannelGate { inputs, .. } => {
-                        for i in inputs {
-                            f(i.index(), s);
-                        }
-                    }
-                }
-            }
-        };
-        for_each_edge(&mut |src, dst| {
-            counts[src] += 1;
-            indeg[dst] += 1;
-        });
-        let mut fanout_start = Vec::with_capacity(n + 1);
-        let mut acc = 0u32;
-        fanout_start.push(0);
-        for &c in &counts {
-            acc += c;
-            fanout_start.push(acc);
-        }
-        let mut cursor: Vec<u32> = fanout_start[..n].to_vec();
-        let mut fanout = vec![0u32; acc as usize];
-        for_each_edge(&mut |src, dst| {
-            fanout[cursor[src] as usize] = u32::try_from(dst).expect("checked above");
-            cursor[src] += 1;
-        });
-        Simulator {
+        let csr = FanoutCsr::build(net)?;
+        Ok(Simulator {
             net,
-            fanout_start,
-            fanout,
-            indeg,
+            csr,
             deps_left: vec![0; n],
             span_of: vec![0; n],
             heap: BinaryHeap::with_capacity(n),
-        }
+        })
     }
 
     /// The network under simulation.
@@ -211,10 +170,12 @@ impl<'n> Simulator<'n> {
         }
         arena.reset();
         self.heap.clear();
-        self.deps_left.copy_from_slice(&self.indeg);
+        self.deps_left.copy_from_slice(&self.csr.indeg);
         for (i, t) in inputs.iter().enumerate() {
-            let span = arena.push_trace(t);
-            self.span_of[i] = u32::try_from(span).expect("span fits u32");
+            // One span is sealed per signal and construction verified the
+            // signal count fits the index width, so the narrowing is
+            // lossless.
+            self.span_of[i] = arena.push_trace(t) as u32;
         }
         let mut sealed = inputs.len();
         for i in 0..inputs.len() {
@@ -274,15 +235,13 @@ impl<'n> Simulator<'n> {
     /// Decrements the dependency count of every gate fed by `s`, queueing
     /// those that became ready, keyed by activation time.
     fn notify_fanout(&mut self, s: usize, arena: &TraceArena) {
-        for k in self.fanout_start[s]..self.fanout_start[s + 1] {
-            let g = self.fanout[k as usize] as usize;
+        for k in self.csr.start[s]..self.csr.start[s + 1] {
+            let signal = self.csr.targets[k as usize];
+            let g = signal as usize;
             self.deps_left[g] -= 1;
             if self.deps_left[g] == 0 {
                 let time = self.activation_time(g, arena);
-                self.heap.push(Ready {
-                    time,
-                    signal: u32::try_from(g).expect("checked in new"),
-                });
+                self.heap.push(Ready { time, signal });
             }
         }
     }
@@ -315,65 +274,44 @@ impl<'n> Simulator<'n> {
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Evaluates one gate through the same fused kernels as
-    /// [`Network::run_in`] and seals its output span.
+    /// Evaluates one gate through the shared per-gate kernel
+    /// ([`crate::kernel::eval_signal_into`]) and seals its output span.
     fn eval(&mut self, s: usize, arena: &mut TraceArena) -> Result<(), SimError> {
         let net = self.net;
         let id = net.signal_id(s).expect("s < signal_count");
-        let span = match net.source(id) {
-            SignalSource::Input => unreachable!("inputs are sealed before the event loop"),
-            SignalSource::Gate {
-                kind,
-                inputs,
-                channel,
-            } => match kind.func2() {
-                None => {
-                    let invert = matches!(kind, GateKind::Not);
-                    let src = self.span_of[inputs[0].index()] as usize;
-                    match channel {
-                        None => arena.push_duplicate(src, invert),
-                        Some(ch) => {
-                            let (sealed, out, _) = arena.stage();
-                            let mut view = sealed.trace(src);
-                            if invert {
-                                view = view.inverted();
-                            }
-                            ch.apply_into(view, out)?;
-                            arena.seal_out()
-                        }
-                    }
-                }
-                Some(f) => {
-                    let (sealed, out, scratch) = arena.stage();
-                    let va = sealed.trace(self.span_of[inputs[0].index()] as usize);
-                    let vb = sealed.trace(self.span_of[inputs[1].index()] as usize);
-                    match channel {
-                        None => gates::combine2_into(f, va, vb, out)?,
-                        Some(ch) => {
-                            gates::combine2_into(f, va, vb, scratch)?;
-                            ch.apply_into(scratch.as_ref(), out)?;
-                        }
-                    }
-                    arena.seal_out()
-                }
-            },
-            SignalSource::TwoInputChannelGate { inputs, channel } => {
-                let (sealed, out, _) = arena.stage();
-                let va = sealed.trace(self.span_of[inputs[0].index()] as usize);
-                let vb = sealed.trace(self.span_of[inputs[1].index()] as usize);
-                channel.apply2_into(va, vb, out)?;
-                arena.seal_out()
-            }
+        let source = net.source(id);
+        let span = match kernel::duplicate_shortcut(&source) {
+            Some((src, invert)) => arena.push_duplicate(self.span_of[src.index()] as usize, invert),
+            None => self.eval_staged(source, arena)?,
         };
-        self.span_of[s] = u32::try_from(span).expect("span fits u32");
+        // Lossless: spans per run = signal count, checked at construction.
+        self.span_of[s] = span as u32;
         Ok(())
+    }
+
+    /// The staging-buffer path of [`Simulator::eval`]: runs the shared
+    /// kernel against the sealed arena storage and seals the result.
+    fn eval_staged(
+        &self,
+        source: SignalSource<'_>,
+        arena: &mut TraceArena,
+    ) -> Result<usize, SimError> {
+        let span_of = &self.span_of;
+        let (sealed, out, scratch) = arena.stage();
+        kernel::eval_signal_into(
+            source,
+            |sid| sealed.trace(span_of[sid.index()] as usize),
+            out,
+            scratch,
+        )?;
+        Ok(arena.seal_out())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mis_digital::{InertialChannel, Network, PureDelayChannel};
+    use mis_digital::{GateKind, InertialChannel, Network, PureDelayChannel};
     use mis_waveform::units::ps;
 
     #[test]
@@ -403,7 +341,7 @@ mod tests {
             DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(400.0), false)]).unwrap();
         let tb = DigitalTrace::with_edges(false, vec![(ps(250.0), true)]).unwrap();
         let want = net.run(&[ta.clone(), tb.clone()]).unwrap();
-        let mut sim = Simulator::new(&net);
+        let mut sim = Simulator::new(&net).unwrap();
         let got = sim.run(&[ta.clone(), tb]).unwrap();
         assert_eq!(got, want);
         // And the warm in-place path reproduces it.
@@ -424,7 +362,7 @@ mod tests {
     fn input_count_is_validated() {
         let mut net = Network::new();
         net.add_input("a");
-        let mut sim = Simulator::new(&net);
+        let mut sim = Simulator::new(&net).unwrap();
         assert!(sim.run(&[]).is_err());
     }
 
@@ -433,7 +371,7 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_input("a");
         let y = net.add_gate("y", GateKind::Not, &[a], None).unwrap();
-        let mut sim = Simulator::new(&net);
+        let mut sim = Simulator::new(&net).unwrap();
         let got = sim.run(&[DigitalTrace::constant(true)]).unwrap();
         assert!(!got[y.index()].initial_value());
         assert_eq!(got[y.index()].transition_count(), 0);

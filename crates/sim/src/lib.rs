@@ -6,7 +6,7 @@
 //! where shared event-queue overhead — not per-channel kernel cost —
 //! dominates; the follow-up paper (Ferdowsi et al., 2024) evaluates on
 //! interconnected circuits outright. This crate supplies that missing
-//! granularity in three pieces:
+//! granularity in four pieces:
 //!
 //! * [`bench`] — an ISCAS-85 `.bench` parser/writer and its lowering
 //!   onto the [`mis_digital::Network`] builder (topological ordering of
@@ -21,6 +21,11 @@
 //!   counting plus a time-ordered ready queue over the same fused
 //!   arena kernels as `Network::run_in`, bit-identical to the levelized
 //!   sweep and allocation-free on a warm arena.
+//! * [`parallel`] — [`ParallelSimulator`], per-cone evaluation on a
+//!   scoped `std::thread` worker pool: sink fan-in cones packed onto
+//!   workers that each own their [`mis_waveform::TraceArena`], merged
+//!   deterministically by signal index — bit-identical to the serial
+//!   engines at every worker count.
 //!
 //! # Examples
 //!
@@ -33,7 +38,7 @@
 //!     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)",
 //! )?;
 //! let lowered = nl.lower(&CellLibrary::ideal())?;
-//! let mut sim = Simulator::new(&lowered.net);
+//! let mut sim = Simulator::new(&lowered.net)?;
 //! let mut arena = TraceArena::new();
 //! let a = DigitalTrace::with_edges(false, vec![(ps(100.0), true)])?;
 //! let b = DigitalTrace::constant(false);
@@ -52,8 +57,11 @@ pub mod bench;
 pub mod cells;
 pub mod engine;
 mod error;
+mod kernel;
+pub mod parallel;
 
 pub use bench::{BenchFunc, BenchGate, BenchNetlist, LoweredNetlist};
 pub use cells::CellLibrary;
 pub use engine::Simulator;
 pub use error::BenchError;
+pub use parallel::ParallelSimulator;

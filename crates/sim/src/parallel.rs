@@ -1,0 +1,504 @@
+//! Parallel per-cone netlist evaluation — the first multi-threaded layer
+//! of the workspace.
+//!
+//! [`ParallelSimulator`] partitions a netlist into **sink fan-in cones**:
+//! the transitive fan-in of every sink signal (a signal driving no gate —
+//! primary outputs and dead ends alike; acyclicity means every signal
+//! reaches at least one sink, so the cones cover the whole network). The
+//! cones are distributed over a fixed number of workers by a
+//! deterministic greedy packer that minimizes each worker's cone *union*,
+//! and each worker then evaluates its union **independently, bottom-up,
+//! in signal-index order** — a topological order by the [`Network`]
+//! builder's reference-before-use invariant.
+//!
+//! The scheme trades redundancy for isolation: cones overlap, so shared
+//! logic is re-evaluated by every worker whose union contains it, but in
+//! exchange a worker needs *nothing* from any other worker — no locks,
+//! no level barriers, no cross-thread trace reads. Each worker owns its
+//! own [`TraceArena`] (and span map), which is what makes the aliasing
+//! story trivially sound under `forbid(unsafe_code)`: mutable state is
+//! moved into exactly one scoped `std::thread` worker, immutable state
+//! (the network, its `Send + Sync` channels, the input traces) is shared
+//! by reference.
+//!
+//! **Determinism and bit-identity.** After the scoped workers join, the
+//! coordinator merges results into the caller's arena **by ascending
+//! signal index**, taking each signal from its fixed owner worker
+//! (assigned at construction). Every per-gate evaluation runs the same
+//! shared kernel as the serial engines on the same fan-in traces, so by
+//! induction over the topological order every worker that evaluates a
+//! signal produces the same trace — overlap is redundant, never
+//! divergent — and the merged result is bit-identical to
+//! [`crate::Simulator::run`] regardless of worker count or thread
+//! interleaving (property-tested in `crates/sim/tests/proptests.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_digital::{GateKind, InertialChannel, Network};
+//! use mis_sim::{ParallelSimulator, Simulator};
+//! use mis_waveform::{units::ps, DigitalTrace};
+//!
+//! # fn main() -> Result<(), mis_digital::SimError> {
+//! let mut net = Network::new();
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let ch = || Box::new(InertialChannel::symmetric(ps(30.0), ps(30.0)).unwrap());
+//! let y = net.add_gate("y", GateKind::Nor, &[a, b], Some(ch()))?;
+//! let z = net.add_gate("z", GateKind::Not, &[a], Some(ch()))?;
+//! let ta = DigitalTrace::with_edges(false, vec![(ps(100.0), true)])?;
+//! let tb = DigitalTrace::constant(false);
+//! let mut par = ParallelSimulator::new(&net, 2)?;
+//! let got = par.run(&[ta.clone(), tb.clone()])?;
+//! let want = Simulator::new(&net)?.run(&[ta, tb])?;
+//! assert_eq!(got, want);
+//! # Ok(())
+//! # }
+//! ```
+
+use mis_digital::{Network, SignalId, SignalSource, SimError};
+use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
+
+use crate::kernel::{self, FanoutCsr};
+
+/// A fixed-size bit set over signal indices — the working representation
+/// of fan-in cones and worker unions during partitioning.
+#[derive(Debug, Clone)]
+struct SignalSet {
+    words: Vec<u64>,
+}
+
+impl SignalSet {
+    fn new(signals: usize) -> Self {
+        SignalSet {
+            words: vec![0; signals.div_ceil(64)],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets bit `i`; returns whether it was newly set.
+    fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// How many bits `other` would add to `self`.
+    fn growth(&self, other: &SignalSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (b & !a).count_ones() as usize)
+            .sum()
+    }
+
+    fn union_with(&mut self, other: &SignalSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+/// Calls `f` with each fan-in signal index of `s`.
+fn for_each_fanin(net: &Network, s: usize, f: &mut impl FnMut(usize)) {
+    let id = net.signal_id(s).expect("s < signal_count");
+    match net.source(id) {
+        SignalSource::Input => {}
+        SignalSource::Gate { inputs, .. } => {
+            for i in inputs {
+                f(i.index());
+            }
+        }
+        SignalSource::TwoInputChannelGate { inputs, .. } => {
+            for i in inputs {
+                f(i.index());
+            }
+        }
+    }
+}
+
+/// Computes the transitive fan-in cone of `root` (root included) into
+/// the reusable `cone` set (cleared first), returning its size. Taking
+/// the set by `&mut` keeps partitioning at **one** live cone at a time
+/// — peak construction memory is O(workers × signals), not
+/// O(sinks × signals), which matters at the `u32::MAX`-signal scale the
+/// engines otherwise admit.
+fn cone_into(net: &Network, root: usize, cone: &mut SignalSet, stack: &mut Vec<usize>) -> usize {
+    cone.clear();
+    stack.clear();
+    stack.push(root);
+    cone.insert(root);
+    let mut size = 1usize;
+    while let Some(s) = stack.pop() {
+        for_each_fanin(net, s, &mut |i| {
+            if cone.insert(i) {
+                size += 1;
+                stack.push(i);
+            }
+        });
+    }
+    size
+}
+
+/// One worker's private evaluation state: its assigned signal set (a
+/// union of sink cones, ascending — a topological order), its own arena,
+/// and its own span map. Nothing here is ever touched by another thread.
+#[derive(Debug)]
+struct Worker {
+    /// Signals this worker evaluates, ascending.
+    signals: Vec<u32>,
+    /// Arena span per evaluated signal (entries outside `signals` stale).
+    span_of: Vec<u32>,
+    /// Worker-owned trace storage, reused run to run.
+    arena: TraceArena,
+}
+
+impl Worker {
+    /// Evaluates this worker's signal set bottom-up into its own arena.
+    /// Cone-closure guarantees every fan-in of an assigned signal is
+    /// assigned too, so all reads hit this worker's already-sealed spans.
+    fn evaluate(&mut self, net: &Network, inputs: &[DigitalTrace]) -> Result<(), SimError> {
+        self.arena.reset();
+        for &s in &self.signals {
+            let s = s as usize;
+            let id = net.signal_id(s).expect("s < signal_count");
+            let source = net.source(id);
+            let span = if matches!(source, SignalSource::Input) {
+                self.arena.push_trace(&inputs[s])
+            } else if let Some((src, invert)) = kernel::duplicate_shortcut(&source) {
+                // Channel-less unary gate: a span copy in the flat
+                // array, the same fast path as the serial engine (one
+                // shared predicate decides it for both).
+                self.arena
+                    .push_duplicate(self.span_of[src.index()] as usize, invert)
+            } else {
+                let span_of = &self.span_of;
+                let (sealed, out, scratch) = self.arena.stage();
+                kernel::eval_signal_into(
+                    source,
+                    |sid| sealed.trace(span_of[sid.index()] as usize),
+                    out,
+                    scratch,
+                )?;
+                self.arena.seal_out()
+            };
+            // Lossless: construction checked the signal count fits u32,
+            // and a worker seals at most one span per signal per run.
+            self.span_of[s] = span as u32;
+        }
+        Ok(())
+    }
+}
+
+/// A parallel per-cone evaluator over a borrowed [`Network`] — see the
+/// module docs for the partitioning scheme and the determinism argument.
+///
+/// Construction performs the whole partition (cones, greedy packing,
+/// owner table); each [`ParallelSimulator::run_in`] then only spawns the
+/// scoped workers and merges. Worker arenas persist across runs, so a
+/// warm worker evaluates allocation-free — the per-run allocations are
+/// the thread spawns themselves.
+#[derive(Debug)]
+pub struct ParallelSimulator<'n> {
+    net: &'n Network,
+    workers: Vec<Worker>,
+    /// For each signal, the index of the worker whose arena the merge
+    /// reads it from (the lowest-indexed worker that evaluates it).
+    owner: Vec<u32>,
+}
+
+impl<'n> ParallelSimulator<'n> {
+    /// Partitions `net` into cone unions for `workers` workers.
+    ///
+    /// Sinks are packed greedily, largest cone first, each onto the
+    /// worker whose union grows least (ties to the lower worker index) —
+    /// deterministic, and within a few percent of balanced on the ISCAS
+    /// fixtures. Workers left without any cone stay empty and are never
+    /// spawned.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Network`] — `workers` is zero.
+    /// * [`SimError::NetworkTooLarge`] — the network exceeds the `u32`
+    ///   index width (same check as [`crate::Simulator::new`]).
+    pub fn new(net: &'n Network, workers: usize) -> Result<Self, SimError> {
+        if workers == 0 {
+            return Err(SimError::Network {
+                reason: "parallel evaluation needs at least one worker".into(),
+            });
+        }
+        let n = net.signal_count();
+        let csr = FanoutCsr::build(net)?;
+        // Pass 1: cone sizes only (one reusable scratch set), to fix the
+        // packing order — largest cone first, ties ascending sink index.
+        let mut scratch = SignalSet::new(n);
+        let mut stack = Vec::new();
+        let mut sinks: Vec<(usize, usize)> = (0..n)
+            .filter(|&s| csr.is_sink(s))
+            .map(|s| (s, cone_into(net, s, &mut scratch, &mut stack)))
+            .collect();
+        sinks.sort_by_key(|&(s, size)| (std::cmp::Reverse(size), s));
+        // Pass 2: greedy packing, recomputing each cone into the same
+        // scratch set right before it is placed.
+        let mut unions: Vec<SignalSet> = (0..workers).map(|_| SignalSet::new(n)).collect();
+        let mut sizes = vec![0usize; workers];
+        for &(s, _) in &sinks {
+            cone_into(net, s, &mut scratch, &mut stack);
+            let best = (0..workers)
+                .min_by_key(|&w| sizes[w] + unions[w].growth(&scratch))
+                .expect("at least one worker");
+            unions[best].union_with(&scratch);
+            sizes[best] = unions[best].count();
+        }
+        let mut owner = vec![u32::MAX; n];
+        let workers: Vec<Worker> = unions
+            .iter()
+            .enumerate()
+            .map(|(w, set)| {
+                let signals: Vec<u32> = (0..n)
+                    .filter(|&s| set.contains(s))
+                    .map(|s| {
+                        if owner[s] == u32::MAX {
+                            owner[s] = w as u32;
+                        }
+                        s as u32
+                    })
+                    .collect();
+                Worker {
+                    signals,
+                    span_of: vec![0; n],
+                    arena: TraceArena::new(),
+                }
+            })
+            .collect();
+        debug_assert!(
+            owner.iter().all(|&w| w != u32::MAX),
+            "sink cones must cover every signal"
+        );
+        Ok(ParallelSimulator {
+            net,
+            workers,
+            owner,
+        })
+    }
+
+    /// The network under simulation.
+    #[must_use]
+    pub fn network(&self) -> &'n Network {
+        self.net
+    }
+
+    /// Number of workers (including any left empty by the partition).
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Signals assigned to each worker — the partition's load picture.
+    /// The sum exceeds the signal count by the cone-overlap redundancy.
+    #[must_use]
+    pub fn worker_loads(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.signals.len()).collect()
+    }
+
+    /// Total assigned signals divided by the signal count: 1.0 means no
+    /// redundant work, W means every worker evaluates everything.
+    #[must_use]
+    pub fn replication_factor(&self) -> f64 {
+        let total: usize = self.workers.iter().map(|w| w.signals.len()).sum();
+        total as f64 / self.net.signal_count().max(1) as f64
+    }
+
+    /// Evaluates the network into `arena`: scoped workers evaluate their
+    /// cone unions concurrently (worker 0 on the calling thread), then
+    /// the results are merged **by ascending signal index** — so unlike
+    /// the serial engine's schedule-order spans, span `i` always holds
+    /// signal `i`'s trace.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Network`] — wrong number of input traces.
+    /// * Propagates channel failures (the lowest-indexed failing
+    ///   worker's error, deterministically).
+    pub fn run_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+    ) -> Result<(), SimError> {
+        if inputs.len() != self.net.input_count() {
+            return Err(SimError::Network {
+                reason: format!(
+                    "expected {} input traces, got {}",
+                    self.net.input_count(),
+                    inputs.len()
+                ),
+            });
+        }
+        let net = self.net;
+        let (first, rest) = self
+            .workers
+            .split_first_mut()
+            .expect("construction guarantees at least one worker");
+        std::thread::scope(|scope| -> Result<(), SimError> {
+            let handles: Vec<_> = rest
+                .iter_mut()
+                .filter(|w| !w.signals.is_empty())
+                .map(|w| scope.spawn(move || w.evaluate(net, inputs)))
+                .collect();
+            let mut result = first.evaluate(net, inputs);
+            for h in handles {
+                let r = h
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                if result.is_ok() {
+                    result = r;
+                }
+            }
+            result
+        })?;
+        arena.reset();
+        for s in 0..net.signal_count() {
+            let w = &self.workers[self.owner[s] as usize];
+            arena.push_view(w.arena.trace(w.span_of[s] as usize));
+        }
+        Ok(())
+    }
+
+    /// The allocating compatibility wrapper: one owned trace per signal
+    /// in signal order, bit-identical to [`crate::Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelSimulator::run_in`].
+    pub fn run(&mut self, inputs: &[DigitalTrace]) -> Result<Vec<DigitalTrace>, SimError> {
+        let mut arena = TraceArena::new();
+        self.run_in(inputs, &mut arena)?;
+        Ok((0..self.net.signal_count())
+            .map(|s| arena.to_trace(s))
+            .collect())
+    }
+
+    /// The arena span index of signal `id` after a
+    /// [`ParallelSimulator::run_in`] — always `id.index()`, by the
+    /// signal-order merge.
+    #[must_use]
+    pub fn span(&self, id: SignalId) -> usize {
+        id.index()
+    }
+
+    /// Convenience: the view of signal `id`'s trace inside `arena`
+    /// (valid after a [`ParallelSimulator::run_in`] into that arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign [`SignalId`] or a mismatched arena.
+    #[must_use]
+    pub fn trace<'a>(&self, arena: &'a TraceArena, id: SignalId) -> TraceRef<'a> {
+        arena.trace(self.span(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_digital::{GateKind, InertialChannel};
+    use mis_waveform::units::ps;
+
+    fn two_cone_net() -> (Network, SignalId, SignalId) {
+        // Two disjoint cones: y = NOR(a, b) and z = NOT(c).
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let ch = || {
+            Box::new(InertialChannel::symmetric(ps(30.0), ps(25.0)).unwrap())
+                as Box<dyn mis_digital::TraceTransform>
+        };
+        let y = net
+            .add_gate("y", GateKind::Nor, &[a, b], Some(ch()))
+            .unwrap();
+        let z = net.add_gate("z", GateKind::Not, &[c], Some(ch())).unwrap();
+        (net, y, z)
+    }
+
+    fn pulse(t0: f64, t1: f64) -> DigitalTrace {
+        DigitalTrace::with_edges(false, vec![(t0, true), (t1, false)]).unwrap()
+    }
+
+    #[test]
+    fn disjoint_cones_split_across_workers() {
+        let (net, _, _) = two_cone_net();
+        let par = ParallelSimulator::new(&net, 2).unwrap();
+        let loads = par.worker_loads();
+        assert_eq!(loads.len(), 2);
+        // Cones {a, b, y} and {c, z} are disjoint: no replication.
+        assert_eq!(loads.iter().sum::<usize>(), net.signal_count());
+        assert!((par.replication_factor() - 1.0).abs() < 1e-12);
+        assert!(loads.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn matches_serial_engine_at_every_worker_count() {
+        let (net, y, z) = two_cone_net();
+        let inputs = vec![
+            pulse(ps(100.0), ps(400.0)),
+            pulse(ps(250.0), ps(600.0)),
+            pulse(ps(90.0), ps(115.0)),
+        ];
+        let want = crate::Simulator::new(&net).unwrap().run(&inputs).unwrap();
+        for workers in 1..=4 {
+            let mut par = ParallelSimulator::new(&net, workers).unwrap();
+            let got = par.run(&inputs).unwrap();
+            assert_eq!(got, want, "{workers} workers");
+            // The span contract: signal-order spans, reusable arena.
+            let mut arena = TraceArena::new();
+            par.run_in(&inputs, &mut arena).unwrap();
+            par.run_in(&inputs, &mut arena).unwrap();
+            assert_eq!(par.trace(&arena, y).to_trace(), want[y.index()]);
+            assert_eq!(par.trace(&arena, z).to_trace(), want[z.index()]);
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let (net, _, _) = two_cone_net();
+        assert!(matches!(
+            ParallelSimulator::new(&net, 0),
+            Err(SimError::Network { .. })
+        ));
+    }
+
+    #[test]
+    fn input_count_is_validated() {
+        let (net, _, _) = two_cone_net();
+        let mut par = ParallelSimulator::new(&net, 2).unwrap();
+        assert!(par.run(&[]).is_err());
+    }
+
+    #[test]
+    fn more_workers_than_sinks_leaves_spares_empty() {
+        let (net, _, _) = two_cone_net();
+        let mut par = ParallelSimulator::new(&net, 8).unwrap();
+        let loads = par.worker_loads();
+        assert_eq!(loads.iter().filter(|&&l| l > 0).count(), 2);
+        let inputs = vec![
+            pulse(ps(100.0), ps(400.0)),
+            DigitalTrace::constant(false),
+            DigitalTrace::constant(true),
+        ];
+        let want = crate::Simulator::new(&net).unwrap().run(&inputs).unwrap();
+        assert_eq!(par.run(&inputs).unwrap(), want);
+    }
+}

@@ -1,10 +1,12 @@
 //! Property-based tests for the `mis-sim` subsystem: bit-identity of the
-//! event-queue engine against `Network::run` (on every
-//! `mis_digital::netlists` topology and on randomized DAGs over all
-//! channel kinds, empty traces included), `.bench` parse→write→parse
-//! round trips with comment/whitespace torture, one malformed-input test
-//! per parser error variant, and round trips of the committed
-//! `data/charlib` text libraries. On the in-repo `mis-testkit` harness.
+//! event-queue engine **and of the parallel per-cone engine at worker
+//! counts 1–8** against `Network::run` (on every `mis_digital::netlists`
+//! topology and on randomized DAGs over all channel kinds, empty traces
+//! included), `.bench` parse→write→parse round trips with comment/
+//! whitespace/CRLF/BOM torture, one malformed-input test per parser
+//! error variant, and round trips of the committed `data/charlib` text
+//! libraries and `data/bench` fixtures (C432 and C880 against
+//! independent reference models). On the in-repo `mis-testkit` harness.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -16,7 +18,9 @@ use mis_digital::{
     CachedHybridChannel, CachedHybridNandChannel, ExpChannel, GateKind, InertialChannel, Network,
     PureDelayChannel, SumExpChannel, TraceTransform, TwoInputTransform,
 };
-use mis_sim::{BenchError, BenchFunc, BenchGate, BenchNetlist, CellLibrary, Simulator};
+use mis_sim::{
+    BenchError, BenchFunc, BenchGate, BenchNetlist, CellLibrary, ParallelSimulator, Simulator,
+};
 use mis_testkit::prelude::*;
 use mis_testkit::rng::TestRng;
 use mis_waveform::units::ps;
@@ -56,11 +60,12 @@ fn grid_trace(rng: &mut TestRng, max_edges: u64) -> DigitalTrace {
     trace
 }
 
-/// Asserts the event engine reproduces `Network::run` bit for bit on
-/// `net`, including a second run on the warm arena (reuse contract).
+/// Asserts the event engine — and the parallel per-cone engine at two
+/// worker counts — reproduces `Network::run` bit for bit on `net`,
+/// including a second run on the warm arena (reuse contract).
 fn assert_engine_matches(net: &Network, inputs: &[DigitalTrace]) {
     let want = net.run(inputs).expect("reference run");
-    let mut sim = Simulator::new(net);
+    let mut sim = Simulator::new(net).expect("engine construction");
     let got = sim.run(inputs).expect("event-queue run");
     assert_eq!(got.len(), want.len());
     for (i, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -75,6 +80,11 @@ fn assert_engine_matches(net: &Network, inputs: &[DigitalTrace]) {
     for (i, w) in want.iter().enumerate() {
         let id = net.signal_id(i).unwrap();
         assert_eq!(&sim.trace(&arena, id).to_trace(), w, "warm signal {i}");
+    }
+    for workers in [2, 5] {
+        let mut par = ParallelSimulator::new(net, workers).expect("partitioning");
+        let got = par.run(inputs).expect("parallel run");
+        assert_eq!(got, want, "parallel engine, {workers} workers");
     }
 }
 
@@ -199,13 +209,62 @@ fn engine_bit_identical_on_random_dags() {
             .map(|_| grid_trace(&mut rng, 8))
             .collect();
         let want = net.run(&inputs).unwrap();
-        let mut sim = Simulator::new(&net);
+        let mut sim = Simulator::new(&net).expect("engine construction");
         let got = sim.run(&inputs).unwrap();
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
             prop_assert_eq!(g, w, "signal {i} diverged (seed {seed})");
         }
         Ok(())
     });
+}
+
+#[test]
+fn parallel_engine_bit_identical_at_worker_counts_1_through_8() {
+    // The partition (and the thread interleaving it implies) must be
+    // invisible: for any acyclic wiring, any channel kind, and any
+    // worker count, the merged result equals the serial engines bit for
+    // bit — empty traces and exactly-simultaneous edges included.
+    Config::with_cases(CASES).run(&(0u64..u64::MAX), |&seed| {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let net = random_network(&mut rng);
+        let inputs: Vec<DigitalTrace> = (0..net.input_count())
+            .map(|_| grid_trace(&mut rng, 8))
+            .collect();
+        let want = net.run(&inputs).unwrap();
+        let workers = 1 + (seed % 8) as usize;
+        let mut par = ParallelSimulator::new(&net, workers).unwrap();
+        let got = par.run(&inputs).unwrap();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(g, w, "signal {i} diverged ({workers} workers, seed {seed})");
+        }
+        // Warm rerun into a reused arena (the reuse contract), spans in
+        // signal order by the merge.
+        let mut arena = TraceArena::new();
+        par.run_in(&inputs, &mut arena).unwrap();
+        par.run_in(&inputs, &mut arena).unwrap();
+        for (i, w) in want.iter().enumerate() {
+            let id = net.signal_id(i).unwrap();
+            prop_assert_eq!(&par.trace(&arena, id).to_trace(), w, "warm signal {i}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn parallel_engine_every_worker_count_on_one_seed() {
+    // The property test samples one worker count per seed; this pins the
+    // full 1..=8 sweep on a fixed circuit so a worker-count-specific
+    // regression cannot hide behind seed sampling.
+    let mut rng = TestRng::seed_from_u64(0x1D1E);
+    let net = random_network(&mut rng);
+    let inputs: Vec<DigitalTrace> = (0..net.input_count())
+        .map(|_| grid_trace(&mut rng, 10))
+        .collect();
+    let want = net.run(&inputs).unwrap();
+    for workers in 1..=8 {
+        let mut par = ParallelSimulator::new(&net, workers).unwrap();
+        assert_eq!(par.run(&inputs).unwrap(), want, "{workers} workers");
+    }
 }
 
 /// Random `.bench` netlist with safe names, wide gates, and forward
@@ -300,6 +359,46 @@ fn bench_parse_survives_comment_and_whitespace_torture() {
         }
         let parsed = BenchNetlist::parse(&tortured).expect("tortured text parses");
         prop_assert_eq!(&parsed, &nl, "torture changed the parse (seed {seed})");
+        Ok(())
+    });
+}
+
+#[test]
+fn bench_parse_survives_crlf_and_bom_torture() {
+    // Files exported from Windows tooling arrive with a UTF-8 BOM and
+    // CRLF line endings (sometimes mixed with bare LF after hand edits);
+    // both must round-trip to the same netlist as the canonical text.
+    Config::with_cases(CASES).run(&(0u64..u64::MAX), |&seed| {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let nl = random_bench(&mut rng);
+        let mut tortured = String::new();
+        if rng.gen_bool(0.7) {
+            tortured.push('\u{FEFF}');
+        }
+        for line in nl.to_text().lines() {
+            tortured.push_str(line);
+            // Mixed line-ending torture: CRLF mostly, bare LF sometimes,
+            // and the occasional trailing whitespace before the ending.
+            if rng.gen_bool(0.2) {
+                tortured.push(' ');
+            }
+            if rng.gen_bool(0.8) {
+                tortured.push_str("\r\n");
+            } else {
+                tortured.push('\n');
+            }
+        }
+        if rng.gen_bool(0.3) {
+            tortured.push('\r'); // stray final CR, no newline
+        }
+        let parsed = BenchNetlist::parse(&tortured).expect("CRLF/BOM text parses");
+        prop_assert_eq!(
+            &parsed,
+            &nl,
+            "CRLF/BOM torture changed the parse (seed {seed})"
+        );
+        // And the canonical writer round-trips the re-parse (identity).
+        prop_assert_eq!(parsed.to_text(), nl.to_text());
         Ok(())
     });
 }
@@ -441,7 +540,7 @@ fn c17_fixture_matches_builtin_topology_bit_for_bit() {
     for _ in 0..8 {
         let inputs: Vec<DigitalTrace> = (0..5).map(|_| grid_trace(&mut rng, 12)).collect();
         let want = builtin.net.run(&inputs).unwrap();
-        let mut sim = Simulator::new(&lowered.net);
+        let mut sim = Simulator::new(&lowered.net).expect("engine construction");
         let got = sim.run(&inputs).unwrap();
         for (k, out) in lowered.outputs.iter().enumerate() {
             assert_eq!(
@@ -492,7 +591,7 @@ fn c432_fixture_loads_runs_and_encodes_priorities() {
     assert_eq!(nl.gates().len(), 132);
 
     let lowered = nl.lower(&CellLibrary::ideal()).unwrap();
-    let mut sim = Simulator::new(&lowered.net);
+    let mut sim = Simulator::new(&lowered.net).expect("engine construction");
     let mut rng = TestRng::seed_from_u64(0xC432);
     let mut check = |e: u16, a: u16, b: u16, c: u16| {
         let mut inputs = Vec::with_capacity(36);
@@ -518,6 +617,201 @@ fn c432_fixture_loads_runs_and_encodes_priorities() {
     for _ in 0..60 {
         let m = |rng: &mut TestRng| (rng.next_u64() & 0x1FF) as u16;
         check(m(&mut rng), m(&mut rng), m(&mut rng), m(&mut rng));
+    }
+}
+
+/// Constant-input reference model of the committed C880-scale 8-bit ALU
+/// (see `make_data.rs`): buses as bit masks, controls as booleans,
+/// returns the 26 outputs in declaration order.
+#[allow(clippy::too_many_arguments)]
+fn c880_reference(
+    a: u16,
+    b: u16,
+    c: u16,
+    d: u16,
+    e: u16,
+    g: u16,
+    f: u8,
+    cin: bool,
+    inv: bool,
+    ps0: bool,
+    ps1: bool,
+    ten: bool,
+    zen: bool,
+    pen: bool,
+    oen: bool,
+) -> Vec<bool> {
+    let mask = |v: u16| v & 0xFF;
+    let xb = mask(b ^ if inv { 0xFF } else { 0 });
+    let mut cy = [false; 9];
+    cy[0] = cin;
+    let mut s: u16 = 0;
+    for i in 0..8 {
+        let ai = a >> i & 1 == 1;
+        let xbi = xb >> i & 1 == 1;
+        let p = ai ^ xbi;
+        let gn = ai && xbi;
+        if p ^ cy[i] {
+            s |= 1 << i;
+        }
+        cy[i + 1] = gn || (p && cy[i]);
+    }
+    let cout = cy[8];
+    let ovf = oen && (cy[7] ^ cy[8]);
+    let sel = f >> 1 & 7; // F3 F2 F1
+    let m = mask(match sel {
+        0 => s,
+        1 => a & b,
+        2 => a | b,
+        3 => a ^ b,
+        4 => !(a & b),
+        5 => !(a | b),
+        6 => !(a ^ b),
+        _ => a,
+    });
+    let y = mask(m ^ if f & 1 == 1 { 0xFF } else { 0 });
+    let r = y & mask(g);
+    let zero = zen && y == 0;
+    let par = pen && y.count_ones() % 2 == 1;
+    let pdec0 = ten && !ps0;
+    let pdec1 = ten && ps0;
+    let tv = (if pdec0 { mask(c) } else { 0 }) | (if pdec1 { mask(d) } else { 0 });
+    let t = tv & mask(e);
+    let pt = (t.count_ones() % 2 == 1) ^ ps1;
+    let eq = mask(a) == mask(b);
+    let agb = mask(a) > mask(b);
+    let k = if t == 0 { 0 } else { 15 - t.leading_zeros() };
+    let mut out: Vec<bool> = (0..8).map(|i| r >> i & 1 == 1).collect();
+    out.extend([cout, ovf, par, zero]);
+    out.extend((0..8).map(|i| t >> i & 1 == 1));
+    out.extend([pt, eq, agb, k & 4 != 0, k & 2 != 0, k & 1 != 0]);
+    out
+}
+
+#[test]
+fn c880_fixture_loads_runs_and_matches_the_alu_reference() {
+    let text = std::fs::read_to_string(workspace_root().join("data/bench/c880.bench")).unwrap();
+    let nl = BenchNetlist::parse(&text).expect("c880 fixture parses");
+    assert_eq!(nl.inputs().len(), 60);
+    assert_eq!(nl.outputs().len(), 26);
+    assert_eq!(nl.gates().len(), 365);
+
+    let lowered = nl.lower(&CellLibrary::ideal()).unwrap();
+    let mut sim = Simulator::new(&lowered.net).expect("engine construction");
+    let mut rng = TestRng::seed_from_u64(0x880);
+    let mut check = |a: u16, b: u16, c: u16, d: u16, e: u16, g: u16, f: u8, ctl: u8| {
+        let bit = |v: u16, i: usize| v >> i & 1 == 1;
+        let (cin, inv, ps0, ps1) = (ctl & 1 != 0, ctl & 2 != 0, ctl & 4 != 0, ctl & 8 != 0);
+        let (ten, zen, pen, oen) = (ctl & 16 != 0, ctl & 32 != 0, ctl & 64 != 0, ctl & 128 != 0);
+        let mut inputs = Vec::with_capacity(60);
+        for mask in [a, b, c, d, e, g] {
+            for i in 0..8 {
+                inputs.push(DigitalTrace::constant(bit(mask, i)));
+            }
+        }
+        for i in 0..4 {
+            inputs.push(DigitalTrace::constant(f >> i & 1 == 1));
+        }
+        for v in [cin, inv, ps0, ps1, ten, zen, pen, oen] {
+            inputs.push(DigitalTrace::constant(v));
+        }
+        let traces = sim.run(&inputs).unwrap();
+        let want = c880_reference(a, b, c, d, e, g, f, cin, inv, ps0, ps1, ten, zen, pen, oen);
+        for (k, out) in lowered.outputs.iter().enumerate() {
+            assert_eq!(
+                traces[out.index()].initial_value(),
+                want[k],
+                "output {k} ('{}') for a={a:08b} b={b:08b} c={c:08b} d={d:08b} e={e:08b} \
+                 g={g:08b} f={f:04b} ctl={ctl:08b}",
+                nl.outputs()[k]
+            );
+        }
+    };
+    // Corners: all-zero, all-ones, add overflow, subtract-to-zero, pass
+    // bus selects, every function code.
+    check(0, 0, 0, 0, 0, 0, 0, 0);
+    check(0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xF, 0xFF);
+    check(0x80, 0x80, 0, 0, 0, 0xFF, 0, 0b1000_0000);
+    check(0x55, 0x55, 0, 0, 0, 0xFF, 0, 0b0000_0011); // A - B = 0 with INV+CIN
+    check(0, 0, 0xAA, 0x55, 0xFF, 0, 0, 0b0001_0000); // pass C
+    check(0, 0, 0xAA, 0x55, 0xFF, 0, 0, 0b0001_0100); // pass D
+    for f in 0..16u8 {
+        check(0xC3, 0x5A, 0, 0, 0, 0xFF, f, 0);
+    }
+    for _ in 0..60 {
+        let m = |rng: &mut TestRng| (rng.next_u64() & 0xFF) as u16;
+        let (a, b, c, d) = (m(&mut rng), m(&mut rng), m(&mut rng), m(&mut rng));
+        let (e, g) = (m(&mut rng), m(&mut rng));
+        let f = (rng.next_u64() & 0xF) as u8;
+        let ctl = (rng.next_u64() & 0xFF) as u8;
+        check(a, b, c, d, e, g, f, ctl);
+    }
+}
+
+#[test]
+fn c880_partition_is_covering_balanced_and_moderately_redundant() {
+    // The per-cone partition on the C880-scale fixture: every signal
+    // assigned, loads within 2x of each other at 4 workers, and the
+    // cone-overlap redundancy bounded well below "every worker evaluates
+    // everything" — the numbers EXPERIMENTS.md reports come from here.
+    let text = std::fs::read_to_string(workspace_root().join("data/bench/c880.bench")).unwrap();
+    let nl = BenchNetlist::parse(&text).unwrap();
+    let lowered = nl.lower(&CellLibrary::ideal()).unwrap();
+    let n = lowered.net.signal_count();
+    for workers in [2usize, 4] {
+        let par = ParallelSimulator::new(&lowered.net, workers).unwrap();
+        let loads = par.worker_loads();
+        eprintln!(
+            "c880 partition, {workers} workers: loads {loads:?} of {n} signals, \
+             replication {:.3}",
+            par.replication_factor()
+        );
+        assert!(loads.iter().all(|&l| l > 0), "no idle worker at {workers}");
+        assert!(
+            loads.iter().sum::<usize>() >= n,
+            "cones must cover every signal"
+        );
+        let (max, min) = (
+            *loads.iter().max().unwrap() as f64,
+            *loads.iter().min().unwrap() as f64,
+        );
+        assert!(
+            max / min < 2.0,
+            "{workers} workers: unbalanced loads {loads:?}"
+        );
+        assert!(
+            par.replication_factor() < 0.95 * workers as f64,
+            "{workers} workers: replication {:.3} ~ full duplication, packing regressed",
+            par.replication_factor()
+        );
+        // The biggest cone union bounds the parallel span: it must stay
+        // below the whole circuit. (On this fixture the R-bus cones all
+        // share the adder + logic-unit core, so the structural floor is
+        // high — ~0.87 at 2 workers; see EXPERIMENTS.md.)
+        assert!(
+            max / n as f64 <= 0.92,
+            "{workers} workers: critical worker evaluates {max}/{n} of the circuit"
+        );
+    }
+}
+
+#[test]
+fn c880_engines_match_sweep_under_timed_cells() {
+    // Serial event queue AND parallel per-cone engine (2 and 5 workers,
+    // via assert_engine_matches) on the C880-scale fixture under both
+    // timed cell libraries.
+    let text = std::fs::read_to_string(workspace_root().join("data/bench/c880.bench")).unwrap();
+    let nl = BenchNetlist::parse(&text).unwrap();
+    let fallback = InertialChannel::symmetric(ps(50.0), ps(38.0)).unwrap();
+    let cells = [
+        CellLibrary::inertial(fallback.clone()),
+        CellLibrary::hybrid(shared_lib(), Some(fallback)).unwrap(),
+    ];
+    let mut rng = TestRng::seed_from_u64(0x880);
+    for cells in cells {
+        let lowered = nl.lower(&cells).unwrap();
+        let inputs: Vec<DigitalTrace> = (0..60).map(|_| grid_trace(&mut rng, 6)).collect();
+        assert_engine_matches(&lowered.net, &inputs);
     }
 }
 

@@ -22,14 +22,18 @@ cargo test -q --workspace --offline
 # `cargo bench -p mis-bench`). The same leg re-runs the counting-
 # allocator suites explicitly: the zero-allocation guarantees of the
 # arena engine (mis-digital) and of the event-queue simulator (mis-sim,
-# on the committed C432 fixture) are performance invariants and belong
-# with the perf gate (they also run as part of the workspace tests
-# above). Enable with CI_BENCH=1.
+# on the committed C432/C880 fixtures) are performance invariants and
+# belong with the perf gate (they also run as part of the workspace
+# tests above). The leg also regenerates every committed data/ artifact
+# in memory and fails on drift vs the committed bytes
+# (make_data --check). Enable with CI_BENCH=1.
 if [[ "${CI_BENCH:-0}" != "0" ]]; then
     echo "== allocation-counter gate (crates/digital/tests/alloc.rs)"
     cargo test -q -p mis-digital --test alloc --offline
     echo "== allocation-counter gate (crates/sim/tests/alloc.rs)"
     cargo test -q -p mis-sim --test alloc --offline
+    echo "== committed-artifact reproducibility gate (make_data --check)"
+    cargo run --release -q -p mis-bench --bin make_data --offline -- --check
     echo "== bench regression gate (scripts/bench_diff.sh)"
     scripts/bench_diff.sh
 fi
