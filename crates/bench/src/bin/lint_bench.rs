@@ -1,0 +1,137 @@
+//! Lints `.bench` netlists and prints their static timing summary —
+//! the CLI front of `mis-analyze`, and the diagnostic gate CI runs over
+//! every committed `data/bench/` fixture.
+//!
+//! For each file: parse, run every structural lint (`A001`–`A007`),
+//! print the findings, then — when the netlist is simulable — lower it
+//! under the committed characterized cell library
+//! (`data/charlib/nor_paper.mislib`, inertial fallback for the
+//! non-hybrid gate kinds, the same realization the benches use) and
+//! print the static timing report: level census, per-output arrival
+//! windows, critical path.
+//!
+//! Usage:
+//!
+//! ```text
+//! lint_bench [--deny-warnings] <netlist.bench> [more.bench ...]
+//! ```
+//!
+//! Exit code 1 when any file fails to parse or lints with errors — or,
+//! under `--deny-warnings`, with any finding at all; 2 for usage
+//! errors. The timing report is informational and never fails the run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mis_analyze::{lint, LintConfig, TimingAnalysis};
+use mis_charlib::CharLib;
+use mis_digital::InertialChannel;
+use mis_sim::{BenchNetlist, CellLibrary};
+use mis_waveform::units::ps;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The characterized cell library the timing report uses: the committed
+/// paper-Table-1 NOR tables (NAND through the duality), inertial
+/// fallback for gate kinds outside the characterized set. Committed
+/// tables keep the numbers deterministic and the startup instant.
+fn report_cells() -> Result<CellLibrary, String> {
+    let path = workspace_root().join("data/charlib/nor_paper.mislib");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("read {}: {e} (run make_data first)", path.display()))?;
+    let lib = CharLib::from_text(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let fallback = InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("positive delays");
+    CellLibrary::hybrid(&lib, Some(fallback)).map_err(|e| format!("cell library: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            _ if arg.starts_with("--") => {
+                eprintln!("lint_bench: unknown flag '{arg}'");
+                eprintln!("usage: lint_bench [--deny-warnings] <netlist.bench> ...");
+                return ExitCode::from(2);
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: lint_bench [--deny-warnings] <netlist.bench> ...");
+        return ExitCode::from(2);
+    }
+
+    let cells = match report_cells() {
+        Ok(c) => Some(c),
+        Err(e) => {
+            // Timing is informational; lint alone still works without
+            // the committed tables.
+            eprintln!("lint_bench: no timing report: {e}");
+            None
+        }
+    };
+
+    let mut failed = false;
+    for file in &files {
+        println!("== {file}");
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("error: read failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let nl = match BenchNetlist::parse(&text) {
+            Ok(nl) => nl,
+            Err(e) => {
+                println!("error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = lint(&nl, &LintConfig::default());
+        if report.is_clean() {
+            println!(
+                "clean: {} inputs, {} outputs, {} gates",
+                nl.inputs().len(),
+                nl.outputs().len(),
+                nl.gates().len()
+            );
+        } else {
+            print!("{report}");
+            println!(
+                "{} error(s), {} warning(s)",
+                report.error_count(),
+                report.warning_count()
+            );
+        }
+        if report.has_errors() || (deny_warnings && !report.is_clean()) {
+            failed = true;
+        }
+        if report.has_errors() {
+            continue; // A007 means lowering is pointless.
+        }
+        if let Some(cells) = &cells {
+            match nl.lower(cells) {
+                Ok(lowered) => {
+                    let ta = TimingAnalysis::new(&lowered.net);
+                    print!("{}", ta.report(&lowered.outputs));
+                }
+                Err(e) => {
+                    println!("error: lowering failed: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -251,8 +251,9 @@ fn c432_reconstruction() -> BenchNetlist {
 /// gating mask `G`), a `C`/`D` pass bus with select/enable (`PS0`,
 /// `TEN`) and enable mask `E`, result flags (carry, overflow, parity,
 /// zero), an unsigned comparator (`EQ`, `AGB`), and a highest-set-bit
-/// priority encoder over the pass bus (`K2..K0`). 60 inputs, 26
-/// outputs, 365 gates, fan-in up to 8 — and, deliberately, many
+/// priority encoder over the pass bus (binary index `K2..K0` plus the
+/// any-lane-set valid flag `KV`). 60 inputs, 27
+/// outputs, 366 gates, fan-in up to 8 — and, deliberately, many
 /// output cones that only partially overlap: the workload the parallel
 /// per-cone engine partitions.
 fn c880_reconstruction() -> BenchNetlist {
@@ -505,9 +506,15 @@ fn c880_reconstruction() -> BenchNetlist {
         BenchFunc::Or,
         &["H4".into(), "H5".into(), "H6".into(), bus("T", 7)],
     );
+    // The encoder's valid flag: some pass-bus lane is set. Also the
+    // only consumer of lane H0 — without it H0 (and NS0 behind it) is
+    // dead logic, which the mis-analyze A005 lint rightly flags.
+    let mut kv_ops: Vec<String> = (0..7).map(|i| bus("H", i)).collect();
+    kv_ops.push(bus("T", 7));
+    gate("KV", BenchFunc::Or, &kv_ops);
     let mut outputs: Vec<String> = (0..8).map(|i| bus("R", i)).collect();
     outputs.extend(["COUT", "OVF", "PAR", "ZERO"].map(String::from));
     outputs.extend((0..8).map(|i| bus("T", i)));
-    outputs.extend(["PT", "EQ", "AGB", "K2", "K1", "K0"].map(String::from));
+    outputs.extend(["PT", "EQ", "AGB", "K2", "K1", "K0", "KV"].map(String::from));
     BenchNetlist::new(inputs, outputs, gates).expect("reconstruction is well-formed")
 }

@@ -347,17 +347,25 @@ mod tests {
         let mut c = CharConfig::default();
         c.delta_hi = c.delta_lo;
         assert!(c.validate().is_err());
-        let mut c = CharConfig::default();
-        c.budget = 0.0;
+        let c = CharConfig {
+            budget: 0.0,
+            ..CharConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CharConfig::default();
-        c.initial_points = 2;
+        let c = CharConfig {
+            initial_points: 2,
+            ..CharConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CharConfig::default();
-        c.vn_fractions = vec![0.5, 0.5];
+        let c = CharConfig {
+            vn_fractions: vec![0.5, 0.5],
+            ..CharConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CharConfig::default();
-        c.vn_fractions = vec![-0.1, 0.5];
+        let c = CharConfig {
+            vn_fractions: vec![-0.1, 0.5],
+            ..CharConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -75,6 +75,23 @@ impl DelaySurface {
         let xs = self.curve.xs();
         (xs[0], xs[xs.len() - 1])
     }
+
+    /// The sample extrema `(min δ, max δ)` of the table. Because the
+    /// monotone-cubic reconstruction never under- or overshoots past its
+    /// samples and extrapolation clamps to the boundary ordinates, these
+    /// bound [`DelaySurface::eval`] over **all** inputs — the per-cell
+    /// delay bounds static timing analysis propagates.
+    #[must_use]
+    pub fn delay_bounds(&self) -> (f64, f64) {
+        let ys = self.curve.ys();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &y in ys {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        (lo, hi)
+    }
 }
 
 /// A stack of [`DelaySurface`] slices indexed by a frozen internal-node
@@ -174,6 +191,23 @@ impl SurfaceFamily {
         }
         (lo, hi)
     }
+
+    /// The sample extrema `(min δ, max δ)` over every slice. The voltage
+    /// blend is a convex combination of two slice evaluations and each
+    /// slice evaluation stays within its own sample extrema (see
+    /// [`DelaySurface::delay_bounds`]), so these bound
+    /// [`SurfaceFamily::eval`] over all `(Δ, v)`.
+    #[must_use]
+    pub fn delay_bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.slices {
+            let (a, b) = s.delay_bounds();
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+        (lo, hi)
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +256,27 @@ mod tests {
         assert_eq!(fam.eval(0.5, -100.0), fam.eval(0.5, 100.0));
         assert_eq!(fam.voltages(), &[0.0]);
         assert_eq!(fam.slices().len(), 1);
+    }
+
+    #[test]
+    fn delay_bounds_cover_eval_everywhere() {
+        let s = vee(1.0);
+        assert_eq!(s.delay_bounds(), (1.0, 3.0));
+        let fam = SurfaceFamily::new(vec![0.0, 1.0], vec![vee(1.0), vee(2.0)]).unwrap();
+        let (lo, hi) = fam.delay_bounds();
+        assert_eq!((lo, hi), (1.0, 4.0));
+        // Dense probe, including clamped extrapolation in Δ and v.
+        for i in -40..=40 {
+            let d = 0.1 * f64::from(i);
+            for j in -5..=15 {
+                let v = 0.1 * f64::from(j);
+                let y = fam.eval(d, v);
+                assert!(
+                    (lo..=hi).contains(&y),
+                    "eval({d}, {v}) = {y} outside bounds"
+                );
+            }
+        }
     }
 
     #[test]

@@ -198,10 +198,7 @@ impl HybridTrajectory {
     fn segment_index(&self, t: f64) -> usize {
         // Last segment whose start is <= t (segments take effect at their
         // start instant).
-        match self.starts.iter().rposition(|&s| s <= t) {
-            Some(i) => i,
-            None => 0,
-        }
+        self.starts.iter().rposition(|&s| s <= t).unwrap_or(0)
     }
 }
 

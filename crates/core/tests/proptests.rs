@@ -213,7 +213,7 @@ fn pure_delay_is_a_uniform_shift() {
     Config::with_cases(CASES).run(
         &(params(), -80e-12..80e-12f64, 0.0..30e-12f64),
         |&(ref p, d, dmin)| {
-            let mut shifted = p.clone();
+            let mut shifted = *p;
             shifted.delta_min = dmin;
             let base_f = delay::falling_delay(p, d).unwrap();
             let with_f = delay::falling_delay(&shifted, d).unwrap();
@@ -239,7 +239,7 @@ fn charlie_formulas_match_numeric_for_random_params() {
 #[test]
 fn nand_duality_identities() {
     Config::with_cases(CASES).run(&(params(), -50e-12..50e-12f64), |&(ref p, d)| {
-        let nand = mis_core::nand::NandParams::from_dual(p.clone());
+        let nand = mis_core::nand::NandParams::from_dual(*p);
         let rise = nand.rising_delay(d).unwrap();
         let nor_fall = delay::falling_delay(p, d).unwrap();
         prop_assert!((rise - nor_fall).abs() < 1e-18);

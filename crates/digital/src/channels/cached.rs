@@ -8,7 +8,7 @@ use mis_charlib::{CharGate, CharLib, SurfaceFamily};
 use mis_core::{Mode, ModeConstants, ModeSystem, ModeTrajectory, NorParams};
 use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
-use crate::channels::TwoInputTransform;
+use crate::channels::{DelayBounds, TwoInputTransform};
 use crate::{gates, SimError};
 
 /// A cached two-input NOR delay channel driven by characterized delay
@@ -80,6 +80,10 @@ pub struct CachedHybridChannel {
     /// Partial-swing rise corrections per *previous fall's* pull-down
     /// mode, tabulated over the settle time since the fall crossing.
     rise_corr: [UniformCurve; 3],
+    /// Sound per-edge delay bounds, computed once at construction from
+    /// the exact extrema of the resampled tables and correction curves
+    /// (see [`CachedHybridChannel::delay_bounds`]).
+    bounds: DelayBounds,
 }
 
 /// Pull-down mode index for the correction tables.
@@ -121,6 +125,19 @@ impl UniformCurve {
         let i = u as usize;
         let t = u - i as f64;
         self.ys[i] + t * (self.ys[i + 1] - self.ys[i])
+    }
+
+    /// Exact range of [`UniformCurve::eval`]: linear interpolation stays
+    /// between its endpoints and extrapolation clamps, so the sample
+    /// extrema are the curve extrema.
+    fn value_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &y in &self.ys {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        (lo, hi)
     }
 }
 
@@ -262,6 +279,57 @@ impl UniformFamily {
         (v0 + t * dh0) + t2 * (b + t * a)
     }
 
+    /// Exact range of [`UniformFamily::eval`] over all `(Δ, v)`. Per
+    /// Hermite cell the extrema are the endpoint values plus the interior
+    /// stationary points (roots of the derivative quadratic); the voltage
+    /// blend is a convex combination of two slice evaluations, and
+    /// clamping (in Δ and v) never leaves the cell/slice hull — so the
+    /// cell-wise extrema over all slices bound every lookup. Unlike the
+    /// raw characterization samples, this accounts for the resampled
+    /// cubic's overshoot exactly.
+    fn value_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut fold = |v: f64| {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        };
+        for i in 0..self.last {
+            for s in 0..self.m {
+                let p0 = (i * self.m + s) * 2;
+                let p1 = ((i + 1) * self.m + s) * 2;
+                let (v0, dh0) = (self.ys[p0], self.ys[p0 + 1]);
+                let (v1, dh1) = (self.ys[p1], self.ys[p1 + 1]);
+                fold(v0);
+                fold(v1);
+                // H'(t) = dh0 + 2bt + 3at², stationary points in (0, 1).
+                let dv = v1 - v0;
+                let a = dh0 + dh1 - 2.0 * dv;
+                let b = 3.0 * dv - 2.0 * dh0 - dh1;
+                let (qa, qb, qc) = (3.0 * a, 2.0 * b, dh0);
+                if qa == 0.0 {
+                    if qb != 0.0 {
+                        let t = -qc / qb;
+                        if t > 0.0 && t < 1.0 {
+                            fold(Self::hermite(v0, dh0, v1, dh1, t));
+                        }
+                    }
+                } else {
+                    let disc = qb * qb - 4.0 * qa * qc;
+                    if disc >= 0.0 {
+                        let sq = disc.sqrt();
+                        for r in [(-qb - sq) / (2.0 * qa), (-qb + sq) / (2.0 * qa)] {
+                            if r > 0.0 && r < 1.0 {
+                                fold(Self::hermite(v0, dh0, v1, dh1, r));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (lo, hi)
+    }
+
     #[inline]
     fn eval_slice(&self, s: usize, delta: f64) -> f64 {
         let (i, t) = self.locate(delta);
@@ -362,17 +430,46 @@ impl CachedHybridChannel {
             s10_from_rails.vn(d)
         });
         let falling = resample_within(lib.falling(), 0.25 * lib.budget());
+        let rising = resample_within(lib.rising(), 0.25 * lib.budget());
+        // Sound per-edge bounds, from the scheduler's two commit forms:
+        // a fall commits at `anchor + base + fall_corr` and a rise at
+        // `t + rising(Δ, v) + rise_corr`, where `anchor`/`t` are input
+        // edge times, the table lookups stay within the resampled cells'
+        // exact extrema (`value_range`), and the correction lookups stay
+        // within their sample extrema. The slack absorbs the `push()`
+        // monotonicity nudge (1e-18 per committed edge — 10⁶ consecutive
+        // nudged edges fit, orders beyond any realizable trace).
+        const NUDGE_SLACK: f64 = 1e-12;
+        let curve_range = |curves: &[UniformCurve; 3]| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for c in curves {
+                let (a, b) = c.value_range();
+                lo = lo.min(a);
+                hi = hi.max(b);
+            }
+            (lo, hi)
+        };
+        let (fall_lo, fall_hi) = falling.value_range();
+        let (rise_lo, rise_hi) = rising.value_range();
+        let (cf_lo, cf_hi) = curve_range(&fall_corr);
+        let (cr_lo, cr_hi) = curve_range(&rise_corr);
+        let bounds = DelayBounds::new(
+            (fall_lo + cf_lo).min(rise_lo + cr_lo),
+            (fall_hi + cf_hi).max(rise_hi + cr_hi) + NUDGE_SLACK,
+        );
         Ok(CachedHybridChannel {
             fall_s10: falling.eval(f64::INFINITY, 0.0),
             fall_s01: falling.eval(f64::NEG_INFINITY, 0.0),
             falling,
-            rising: resample_within(lib.rising(), 0.25 * lib.budget()),
+            rising,
             vdd,
             delta_min: params.delta_min,
             policy_v: params.vn_policy.voltage(params.vdd),
             vn_decay,
             fall_corr,
             rise_corr,
+            bounds,
         })
     }
 }
@@ -718,6 +815,15 @@ impl TwoInputTransform for CachedHybridChannel {
     fn name(&self) -> &str {
         "hybrid-nor-cached"
     }
+
+    /// Bounds covering both commit forms of the event scheduler: falls
+    /// (`anchor + base + fall_corr`) and rises (`t + δ↑ + rise_corr`),
+    /// with the table extrema computed exactly over the resampled Hermite
+    /// cells and a slack for the monotonicity nudge — see the derivation
+    /// at construction.
+    fn delay_bounds(&self) -> Option<DelayBounds> {
+        Some(self.bounds)
+    }
 }
 
 /// The cached hybrid model as a two-input **NAND** channel, through the
@@ -791,6 +897,12 @@ impl TwoInputTransform for CachedHybridNandChannel {
 
     fn name(&self) -> &str {
         "hybrid-nand-cached"
+    }
+
+    /// Identical to the dual NOR's bounds: the duality inverts *values*
+    /// (free in the SoA view), never edge times.
+    fn delay_bounds(&self) -> Option<DelayBounds> {
+        self.inner.delay_bounds()
     }
 }
 
@@ -998,6 +1110,33 @@ mod tests {
             (rise - expected).abs() <= lib().budget(),
             "{rise:e} vs {expected:e} (Gnd policy at construction)"
         );
+    }
+
+    #[test]
+    fn delay_bounds_cover_committed_edges() {
+        let ch = channel();
+        let b = ch.delay_bounds().expect("cached channel is bounded");
+        assert!(b.lo <= b.hi);
+        // Every committed edge offset from *some* input edge must lie in
+        // the interval; probe the single-fall and pulse round trips.
+        for &delta in &[ps(-40.0), ps(-10.0), 0.0, ps(10.0), ps(40.0)] {
+            let (ta, tb) = if delta >= 0.0 {
+                (ps(200.0), ps(200.0) + delta)
+            } else {
+                (ps(200.0) - delta, ps(200.0))
+            };
+            let a = DigitalTrace::with_edges(false, vec![(ta, true), (ps(900.0), false)]).unwrap();
+            let bt = DigitalTrace::with_edges(false, vec![(tb, true), (ps(905.0), false)]).unwrap();
+            let out = ch.apply2(&a, &bt).unwrap();
+            for e in out.edges() {
+                let hit = [ta, tb, ps(900.0), ps(905.0)]
+                    .iter()
+                    .any(|&tin| e.time >= tin + b.lo && e.time <= tin + b.hi);
+                assert!(hit, "edge {:e} escapes [{:e}, {:e}]", e.time, b.lo, b.hi);
+            }
+        }
+        let nand = CachedHybridNandChannel::from_dual(&lib()).unwrap();
+        assert_eq!(nand.delay_bounds(), Some(b), "duality keeps edge times");
     }
 
     #[test]

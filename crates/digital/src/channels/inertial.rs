@@ -1,6 +1,6 @@
 use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
-use crate::channels::TraceTransform;
+use crate::channels::{DelayBounds, TraceTransform};
 use crate::SimError;
 
 /// The inertial delay channel: rising and falling edges are delayed by
@@ -158,6 +158,16 @@ impl TraceTransform for InertialChannel {
 
     fn name(&self) -> &str {
         "inertial"
+    }
+
+    /// Every surviving edge is some input edge shifted by `delay_up` or
+    /// `delay_down`; cancellation and pulse rejection only *remove* edges,
+    /// so the two constants bound every output edge.
+    fn delay_bounds(&self) -> Option<DelayBounds> {
+        Some(DelayBounds::new(
+            self.delay_up.min(self.delay_down),
+            self.delay_up.max(self.delay_down),
+        ))
     }
 }
 

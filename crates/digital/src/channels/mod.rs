@@ -12,6 +12,43 @@ use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
 use crate::SimError;
 
+/// A closed interval `[lo, hi]` (seconds) bounding the offset between any
+/// output transition a channel commits and *some* input transition of the
+/// application that caused it: every output edge at time `t_out` satisfies
+/// `t_in + lo ≤ t_out ≤ t_in + hi` for at least one input edge `t_in`
+/// (of either input, for two-input channels).
+///
+/// This is the per-cell contract static timing analysis propagates: if all
+/// input edges of a gate lie inside a window `[a, b]`, every output edge
+/// lies inside `[a + lo, b + hi]`. Channels whose delay is unbounded (the
+/// involution channels, whose `δ(T) → −∞` as `T → 0`) report `None` from
+/// [`TraceTransform::delay_bounds`] instead of a `DelayBounds`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayBounds {
+    /// Smallest possible edge offset, seconds (may be negative).
+    pub lo: f64,
+    /// Largest possible edge offset, seconds.
+    pub hi: f64,
+}
+
+impl DelayBounds {
+    /// Bounds with explicit endpoints (`lo ≤ hi` expected; not enforced —
+    /// a reversed interval simply bounds nothing).
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        DelayBounds { lo, hi }
+    }
+
+    /// The degenerate interval of a constant-delay channel.
+    #[must_use]
+    pub fn exact(delay: f64) -> Self {
+        DelayBounds {
+            lo: delay,
+            hi: delay,
+        }
+    }
+}
+
 /// A single-input delay channel: a causal transform from an input binary
 /// trace to an output binary trace.
 ///
@@ -46,6 +83,13 @@ pub trait TraceTransform: Send + Sync {
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
+
+    /// Sound per-edge delay bounds (see [`DelayBounds`]), or `None` when
+    /// the channel's delay is unbounded. The default is `None` — always
+    /// sound, never tight.
+    fn delay_bounds(&self) -> Option<DelayBounds> {
+        None
+    }
 }
 
 /// A two-input delay channel (the hybrid NOR model): consumes both input
@@ -84,6 +128,13 @@ pub trait TwoInputTransform: Send + Sync {
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
+
+    /// Sound per-edge delay bounds (see [`DelayBounds`]), or `None` when
+    /// the channel's delay is unbounded. The default is `None` — always
+    /// sound, never tight.
+    fn delay_bounds(&self) -> Option<DelayBounds> {
+        None
+    }
 }
 
 // Channels behind shared pointers are channels too: one characterized
@@ -103,6 +154,10 @@ impl<T: TraceTransform + ?Sized> TraceTransform for std::sync::Arc<T> {
     fn name(&self) -> &str {
         (**self).name()
     }
+
+    fn delay_bounds(&self) -> Option<DelayBounds> {
+        (**self).delay_bounds()
+    }
 }
 
 impl<T: TwoInputTransform + ?Sized> TwoInputTransform for std::sync::Arc<T> {
@@ -121,6 +176,10 @@ impl<T: TwoInputTransform + ?Sized> TwoInputTransform for std::sync::Arc<T> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn delay_bounds(&self) -> Option<DelayBounds> {
+        (**self).delay_bounds()
     }
 }
 

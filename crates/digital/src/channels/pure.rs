@@ -1,6 +1,6 @@
 use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
-use crate::channels::TraceTransform;
+use crate::channels::{DelayBounds, TraceTransform};
 use crate::SimError;
 
 /// The pure (constant) delay channel: every edge is shifted by a fixed
@@ -64,6 +64,11 @@ impl TraceTransform for PureDelayChannel {
 
     fn name(&self) -> &str {
         "pure"
+    }
+
+    /// Every edge is shifted by exactly `delay`: a degenerate interval.
+    fn delay_bounds(&self) -> Option<DelayBounds> {
+        Some(DelayBounds::exact(self.delay))
     }
 }
 

@@ -84,6 +84,6 @@ pub use channels::inertial::InertialChannel;
 pub use channels::nand::HybridNandChannel;
 pub use channels::pure::PureDelayChannel;
 pub use channels::sumexp::SumExpChannel;
-pub use channels::{TraceTransform, TwoInputTransform};
+pub use channels::{DelayBounds, TraceTransform, TwoInputTransform};
 pub use error::SimError;
 pub use network::{GateKind, Network, SignalId, SignalSource};

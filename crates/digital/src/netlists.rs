@@ -332,7 +332,7 @@ mod tests {
         let traces = chain.net.run(&[a, b]).unwrap();
         // NAND chain with b high: each stage inverts the previous signal.
         let out = &traces[chain.outputs[0].index()];
-        assert_eq!(out.initial_value(), false, "NAND(1,1) = 0 settled");
+        assert!(!out.initial_value(), "NAND(1,1) = 0 settled");
         assert_eq!(out.transition_count(), 1);
         assert!(ripple_chain(GateKind::Xor, 2, &mut f).is_err());
     }

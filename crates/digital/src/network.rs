@@ -432,7 +432,7 @@ mod tests {
         let ta = DigitalTrace::with_edges(false, vec![(1.0, true)]).unwrap();
         let tb = DigitalTrace::constant(false);
         let traces = net.run(&[ta, tb]).unwrap();
-        assert!(traces[y.0 as usize].initial_value());
+        assert!(traces[y.0].initial_value());
         assert_eq!(traces[y.0].edges()[0].time, 1.0);
     }
 

@@ -171,7 +171,7 @@ pub fn exp2_crossings(
                     continue;
                 }
                 if flo.signum() != fhi.signum() {
-                    let r = monotone_root(&f, &f_df, lo, hi, flo, fhi, scan_step, xtol)?;
+                    let r = monotone_root(f, f_df, lo, hi, flo, fhi, scan_step, xtol)?;
                     push_unique(&mut out, r, xtol);
                 }
             }

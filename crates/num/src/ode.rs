@@ -334,7 +334,7 @@ mod tests {
         let samples = integrate_adaptive(
             |_t, y, dy| {
                 dy[0] = -1000.0 * y[0];
-                dy[1] = -1.0 * y[1];
+                dy[1] = -y[1];
             },
             0.0,
             1.0,

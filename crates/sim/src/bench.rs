@@ -125,16 +125,36 @@ pub struct BenchGate {
 /// A parsed `.bench` netlist: declarations and definitions in file
 /// order, structurally validated (no duplicates, no dangling references,
 /// no combinational cycles) but not yet lowered to a [`Network`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct BenchNetlist {
     inputs: Vec<String>,
     outputs: Vec<String>,
     gates: Vec<BenchGate>,
+    /// 1-based source line of each `INPUT` declaration, parallel to
+    /// `inputs` (0 for programmatically assembled netlists).
+    input_lines: Vec<usize>,
+    /// 1-based source line of each `OUTPUT` declaration, parallel to
+    /// `outputs` (0 when programmatic).
+    output_lines: Vec<usize>,
+    /// 1-based source line of each gate definition, parallel to `gates`
+    /// (0 when programmatic).
+    gate_lines: Vec<usize>,
     /// Gate indices in topological order, computed once at validation
-    /// (a pure function of `gates`, so derived equality stays an
-    /// equality of the declarations).
+    /// (a pure function of `gates`).
     topo: Vec<usize>,
 }
+
+/// Equality is over the *declarations* only: source-line spans are
+/// provenance, not netlist content (the canonical writer re-flows lines,
+/// and round-trip identity `parse(to_text(n)) == n` must survive that),
+/// and `topo` is a pure function of `gates`.
+impl PartialEq for BenchNetlist {
+    fn eq(&self, other: &Self) -> bool {
+        self.inputs == other.inputs && self.outputs == other.outputs && self.gates == other.gates
+    }
+}
+
+impl Eq for BenchNetlist {}
 
 /// A `.bench` netlist lowered onto the [`Network`] builder.
 #[derive(Debug)]
@@ -155,9 +175,10 @@ impl BenchNetlist {
     /// # Errors
     ///
     /// The same semantic violations `parse` reports — [`BenchError::Empty`],
-    /// [`BenchError::Duplicate`] (line 0), [`BenchError::Undefined`],
-    /// [`BenchError::BadArity`] (line 0), [`BenchError::Syntax`] (line 0,
-    /// for names the text form cannot carry), [`BenchError::Cycle`].
+    /// [`BenchError::Duplicate`], [`BenchError::Undefined`],
+    /// [`BenchError::BadArity`], [`BenchError::Syntax`] (for names the
+    /// text form cannot carry), [`BenchError::Cycle`] — with `line 0`
+    /// throughout, as there is no source text to point into.
     pub fn new(
         inputs: Vec<String>,
         outputs: Vec<String>,
@@ -166,10 +187,14 @@ impl BenchNetlist {
         for g in &gates {
             check_arity(0, g.func, g.inputs.len())?;
         }
+        let (ni, no, ng) = (inputs.len(), outputs.len(), gates.len());
         BenchNetlist {
             inputs,
             outputs,
             gates,
+            input_lines: vec![0; ni],
+            output_lines: vec![0; no],
+            gate_lines: vec![0; ng],
             topo: Vec::new(),
         }
         .validated()
@@ -193,6 +218,28 @@ impl BenchNetlist {
         &self.gates
     }
 
+    /// 1-based source line of each `INPUT` declaration, parallel to
+    /// [`BenchNetlist::inputs`]. All zeros for netlists assembled with
+    /// [`BenchNetlist::new`].
+    #[must_use]
+    pub fn input_lines(&self) -> &[usize] {
+        &self.input_lines
+    }
+
+    /// 1-based source line of each `OUTPUT` declaration, parallel to
+    /// [`BenchNetlist::outputs`] (0 when programmatic).
+    #[must_use]
+    pub fn output_lines(&self) -> &[usize] {
+        &self.output_lines
+    }
+
+    /// 1-based source line of each gate definition, parallel to
+    /// [`BenchNetlist::gates`] (0 when programmatic).
+    #[must_use]
+    pub fn gate_lines(&self) -> &[usize] {
+        &self.gate_lines
+    }
+
     /// Parses `.bench` text. Blank lines and `#` comments (whole-line or
     /// trailing) are ignored; `INPUT`/`OUTPUT` and function names are
     /// case-insensitive; whitespace is free around every token. Files
@@ -211,7 +258,9 @@ impl BenchNetlist {
         let mut inputs = Vec::new();
         let mut outputs = Vec::new();
         let mut gates: Vec<BenchGate> = Vec::new();
-        let mut defined_at: HashMap<String, usize> = HashMap::new();
+        let mut input_lines = Vec::new();
+        let mut output_lines = Vec::new();
+        let mut gate_lines = Vec::new();
         for (no, raw) in text.lines().enumerate() {
             let line = no + 1;
             // Strip trailing comment, then surrounding whitespace.
@@ -229,17 +278,12 @@ impl BenchNetlist {
                         name: func_name.to_owned(),
                     })?;
                 check_arity(line, func, args.len())?;
-                if defined_at.insert(name.to_owned(), line).is_some() {
-                    return Err(BenchError::Duplicate {
-                        line,
-                        name: name.to_owned(),
-                    });
-                }
                 gates.push(BenchGate {
                     output: name.to_owned(),
                     func,
                     inputs: args.iter().map(|&a| a.to_owned()).collect(),
                 });
+                gate_lines.push(line);
             } else {
                 let (kw, args) = parse_call(line, code)?;
                 let name = match (kw.to_ascii_uppercase().as_str(), args.as_slice()) {
@@ -258,15 +302,11 @@ impl BenchNetlist {
                     }
                 };
                 if kw.eq_ignore_ascii_case("INPUT") {
-                    if defined_at.insert(name.to_owned(), line).is_some() {
-                        return Err(BenchError::Duplicate {
-                            line,
-                            name: name.to_owned(),
-                        });
-                    }
                     inputs.push(name.to_owned());
+                    input_lines.push(line);
                 } else {
                     outputs.push(name.to_owned());
+                    output_lines.push(line);
                 }
             }
         }
@@ -274,6 +314,9 @@ impl BenchNetlist {
             inputs,
             outputs,
             gates,
+            input_lines,
+            output_lines,
+            gate_lines,
             topo: Vec::new(),
         }
         .validated()
@@ -307,50 +350,78 @@ impl BenchNetlist {
     }
 
     /// Semantic validation shared by [`BenchNetlist::parse`] and
-    /// [`BenchNetlist::new`]: well-formed signal names (the text form
-    /// must be able to carry every name — redundant after `parse`, load-
-    /// bearing for `new`), at least one input, no dangling references,
-    /// no cycles. Stores the topological order for [`BenchNetlist::lower`]
-    /// on success. (Duplicates are caught where line numbers are still
-    /// known.)
+    /// [`BenchNetlist::new`] — the single place every semantic violation
+    /// is diagnosed, consuming the retained source spans so parsed
+    /// netlists report real line numbers (programmatic ones report 0):
+    /// well-formed signal names (the text form must be able to carry
+    /// every name — redundant after `parse`, load-bearing for `new`), at
+    /// least one input, no duplicate definitions (reported at the second
+    /// occurrence in source order), no dangling references (reported at
+    /// the first referencing line), no cycles. Stores the topological
+    /// order for [`BenchNetlist::lower`] on success.
     fn validated(mut self) -> Result<Self, BenchError> {
-        for name in self
-            .inputs
-            .iter()
-            .chain(self.outputs.iter())
-            .chain(self.gates.iter().map(|g| &g.output))
-            .chain(self.gates.iter().flat_map(|g| g.inputs.iter()))
-        {
-            check_signal_name(0, name)?;
+        for (i, name) in self.inputs.iter().enumerate() {
+            check_signal_name(self.input_lines[i], name)?;
+        }
+        for (i, name) in self.outputs.iter().enumerate() {
+            check_signal_name(self.output_lines[i], name)?;
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            check_signal_name(self.gate_lines[i], &g.output)?;
+            for op in &g.inputs {
+                check_signal_name(self.gate_lines[i], op)?;
+            }
         }
         if self.inputs.is_empty() {
             return Err(BenchError::Empty);
         }
+        // Definitions in source order (stable for the all-zero
+        // programmatic spans, where vector order — inputs, then gates —
+        // stands in for file order), so a duplicate is reported at its
+        // *second* occurrence.
+        let mut defs: Vec<(&str, usize)> = self
+            .inputs
+            .iter()
+            .zip(&self.input_lines)
+            .map(|(n, &l)| (n.as_str(), l))
+            .chain(
+                self.gates
+                    .iter()
+                    .zip(&self.gate_lines)
+                    .map(|(g, &l)| (g.output.as_str(), l)),
+            )
+            .collect();
+        defs.sort_by_key(|&(_, line)| line);
         let mut defined: HashMap<&str, ()> = HashMap::new();
-        for i in &self.inputs {
-            if defined.insert(i, ()).is_some() {
+        for (name, line) in defs {
+            if defined.insert(name, ()).is_some() {
                 return Err(BenchError::Duplicate {
-                    line: 0,
-                    name: i.clone(),
+                    line,
+                    name: name.to_owned(),
                 });
             }
         }
-        for g in &self.gates {
-            if defined.insert(&g.output, ()).is_some() {
-                return Err(BenchError::Duplicate {
-                    line: 0,
-                    name: g.output.clone(),
-                });
-            }
-        }
-        for name in self
+        // References in source order: gate operands at their gate's line,
+        // `OUTPUT` declarations at their own.
+        let mut refs: Vec<(&str, usize)> = self
             .gates
             .iter()
-            .flat_map(|g| g.inputs.iter())
-            .chain(self.outputs.iter())
-        {
-            if !defined.contains_key(name.as_str()) {
-                return Err(BenchError::Undefined { name: name.clone() });
+            .zip(&self.gate_lines)
+            .flat_map(|(g, &l)| g.inputs.iter().map(move |op| (op.as_str(), l)))
+            .chain(
+                self.outputs
+                    .iter()
+                    .zip(&self.output_lines)
+                    .map(|(n, &l)| (n.as_str(), l)),
+            )
+            .collect();
+        refs.sort_by_key(|&(_, line)| line);
+        for (name, line) in refs {
+            if !defined.contains_key(name) {
+                return Err(BenchError::Undefined {
+                    line,
+                    name: name.to_owned(),
+                });
             }
         }
         self.topo = self.topo_order()?;
@@ -395,14 +466,14 @@ impl BenchNetlist {
                 return Ok(order);
             }
             if !progressed {
-                let stuck = self
+                let (line, stuck) = self
                     .gates
                     .iter()
                     .enumerate()
                     .find(|(i, _)| !placed[*i])
-                    .map(|(_, g)| g.output.clone())
+                    .map(|(i, g)| (self.gate_lines[i], g.output.clone()))
                     .unwrap_or_default();
-                return Err(BenchError::Cycle { name: stuck });
+                return Err(BenchError::Cycle { line, name: stuck });
             }
         }
     }
@@ -437,6 +508,48 @@ impl BenchNetlist {
             outputs,
         })
     }
+
+    /// Exact post-lowering size of this netlist — the signal count and
+    /// total fan-out edge count [`BenchNetlist::lower`] will produce —
+    /// computed *without* building anything, so callers (the `A007`
+    /// pre-flight lint) can predict
+    /// [`mis_digital::SimError::NetworkTooLarge`] before
+    /// [`crate::Simulator::new`] allocates. Counts saturate instead of
+    /// wrapping, which keeps the comparison against
+    /// [`crate::ENGINE_INDEX_MAX`] meaningful even for absurd inputs.
+    ///
+    /// Per `.bench` gate of fan-in `n`, lowering emits: `n − 1` two-input
+    /// gates for `AND`/`OR`/`XOR`/`NAND`/`NOR` (a balanced zero-time tree
+    /// with the timed cell at the root), `n − 1` two-input gates plus a
+    /// unary root for `XNOR`, and one unary gate for `NOT`/`BUFF`. Each
+    /// two-input gate contributes two fan-out edges, each unary gate one.
+    #[must_use]
+    pub fn lowered_stats(&self) -> LoweredStats {
+        let mut signals = self.inputs.len();
+        let mut edges = 0usize;
+        for g in &self.gates {
+            let n = g.inputs.len();
+            let (binary, unary) = match g.func {
+                BenchFunc::Not | BenchFunc::Buff => (0, 1),
+                BenchFunc::Xnor => (n - 1, 1),
+                _ => (n - 1, 0),
+            };
+            signals = signals.saturating_add(binary + unary);
+            edges = edges.saturating_add(2 * binary + unary);
+        }
+        LoweredStats { signals, edges }
+    }
+}
+
+/// The exact size [`BenchNetlist::lower`] produces, predicted by
+/// [`BenchNetlist::lowered_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweredStats {
+    /// Total signal count of the lowered [`Network`] (primary inputs,
+    /// reduction-tree temporaries, and cell roots).
+    pub signals: usize,
+    /// Total fan-out edge count (with multiplicity).
+    pub edges: usize,
 }
 
 /// Lowers one `.bench` gate: a zero-time balanced reduction tree with the
@@ -519,7 +632,7 @@ fn tmp_name(name: &str, counter: &mut usize) -> String {
 /// Splits `NAME ( a , b )` into the name and its operand list. Rejects
 /// missing/mismatched parentheses, empty operands, and garbage after the
 /// closing parenthesis.
-fn parse_call<'a>(line: usize, code: &'a str) -> Result<(&'a str, Vec<&'a str>), BenchError> {
+fn parse_call(line: usize, code: &str) -> Result<(&str, Vec<&str>), BenchError> {
     let open = code.find('(').ok_or_else(|| BenchError::Syntax {
         line,
         reason: format!("expected '(' in '{code}'"),
@@ -711,6 +824,97 @@ mod tests {
         // file ending in a bare `\r` (no final newline) does too.
         let stub = "\u{FEFF}INPUT(a)\ny = NOT(a)\r";
         assert_eq!(BenchNetlist::parse(stub).unwrap().gates().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_real_source_lines() {
+        // Duplicate: reported at the *second* occurrence.
+        match BenchNetlist::parse("INPUT(a)\n\nINPUT(a)").unwrap_err() {
+            BenchError::Duplicate { line, name } => {
+                assert_eq!((line, name.as_str()), (3, "a"));
+            }
+            other => panic!("expected Duplicate, got {other:?}"),
+        }
+        match BenchNetlist::parse("INPUT(a)\ny = NOT(a)\n# pad\ny = BUFF(a)").unwrap_err() {
+            BenchError::Duplicate { line, name } => {
+                assert_eq!((line, name.as_str()), (4, "y"));
+            }
+            other => panic!("expected Duplicate, got {other:?}"),
+        }
+        // BadArity and Syntax: the offending definition's line.
+        match BenchNetlist::parse("INPUT(a)\n\ny = NOT(a, a)").unwrap_err() {
+            BenchError::BadArity { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected BadArity, got {other:?}"),
+        }
+        match BenchNetlist::parse("INPUT(a)\ny = NOT(a) trailing").unwrap_err() {
+            BenchError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+        // Undefined: the first referencing line (here the OUTPUT
+        // declaration precedes the gate that also references it).
+        match BenchNetlist::parse("INPUT(a)\nOUTPUT(ghost)\ny = NAND(a, ghost)").unwrap_err() {
+            BenchError::Undefined { line, name } => {
+                assert_eq!((line, name.as_str()), (2, "ghost"));
+            }
+            other => panic!("expected Undefined, got {other:?}"),
+        }
+        // Cycle: a gate definition on the cycle.
+        match BenchNetlist::parse("INPUT(a)\nx = NAND(a, y)\ny = NAND(a, x)").unwrap_err() {
+            BenchError::Cycle { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_track_declarations_and_survive_cloning() {
+        let nl = BenchNetlist::parse(C17).unwrap();
+        assert_eq!(nl.input_lines(), [3, 4, 5, 6, 7]);
+        assert_eq!(nl.output_lines(), [8, 9]);
+        assert_eq!(nl.gate_lines(), [10, 11, 12, 13, 14, 15]);
+        // Spans are provenance, not content: the round-tripped netlist
+        // compares equal even though the writer re-flowed every line.
+        let again = BenchNetlist::parse(&nl.to_text()).unwrap();
+        assert_eq!(nl, again);
+        assert_ne!(nl.input_lines(), again.input_lines());
+        // Programmatic netlists carry zero spans.
+        let built = BenchNetlist::new(
+            nl.inputs().to_vec(),
+            nl.outputs().to_vec(),
+            nl.gates().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(built, nl);
+        assert!(built.input_lines().iter().all(|&l| l == 0));
+        assert!(built.gate_lines().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn lowered_stats_match_lowering_exactly() {
+        for src in [
+            C17,
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n\
+             OUTPUT(w)\nOUTPUT(x)\nOUTPUT(y)\nOUTPUT(z)\n\
+             w = NAND(a, b, c, d, e)\n\
+             x = NOR(a, b, c)\n\
+             y = XOR(a, b, c, d)\n\
+             z = XNOR(a, b, c)",
+            "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = BUFF(n)",
+        ] {
+            let nl = BenchNetlist::parse(src).unwrap();
+            let stats = nl.lowered_stats();
+            let lowered = nl.lower(&CellLibrary::ideal()).unwrap();
+            assert_eq!(stats.signals, lowered.net.signal_count(), "{src:?}");
+            let mut edges = 0;
+            for s in 0..lowered.net.signal_count() {
+                let id = lowered.net.signal_id(s).unwrap();
+                edges += match lowered.net.source(id) {
+                    mis_digital::SignalSource::Input => 0,
+                    mis_digital::SignalSource::Gate { inputs, .. } => inputs.len(),
+                    mis_digital::SignalSource::TwoInputChannelGate { .. } => 2,
+                };
+            }
+            assert_eq!(stats.edges, edges, "{src:?}");
+        }
     }
 
     #[test]

@@ -47,12 +47,17 @@ pub enum BenchError {
     /// A referenced signal (gate operand or `OUTPUT` declaration) that no
     /// `INPUT` declaration or gate definition produces.
     Undefined {
+        /// 1-based line number of the first reference (the gate or
+        /// `OUTPUT` declaration naming the dangling signal).
+        line: usize,
         /// The dangling signal name.
         name: String,
     },
     /// The definitions contain a combinational cycle; `name` is a signal
     /// on it.
     Cycle {
+        /// 1-based line number of a gate definition on the cycle.
+        line: usize,
         /// A signal participating in the cycle.
         name: String,
     },
@@ -81,11 +86,17 @@ impl fmt::Display for BenchError {
             BenchError::Duplicate { line, name } => {
                 write!(f, "line {line}: signal '{name}' defined more than once")
             }
-            BenchError::Undefined { name } => {
-                write!(f, "signal '{name}' is referenced but never defined")
+            BenchError::Undefined { line, name } => {
+                write!(
+                    f,
+                    "line {line}: signal '{name}' is referenced but never defined"
+                )
             }
-            BenchError::Cycle { name } => {
-                write!(f, "combinational cycle through signal '{name}'")
+            BenchError::Cycle { line, name } => {
+                write!(
+                    f,
+                    "line {line}: combinational cycle through signal '{name}'"
+                )
             }
             BenchError::Empty => write!(f, "netlist declares no primary inputs"),
             BenchError::Build(e) => write!(f, "netlist lowering failed: {e}"),

@@ -14,12 +14,22 @@
 use mis_digital::{gates, GateKind, Network, SignalId, SignalSource, SimError};
 use mis_waveform::{EdgeBuf, TraceRef};
 
+/// The largest signal count (and total fan-out edge count) the engines
+/// can address: they store signal, span and fan-out-edge indices as
+/// `u32`. [`crate::Simulator::new`] rejects anything larger as
+/// [`SimError::NetworkTooLarge`]; static analysis compares
+/// [`crate::bench::BenchNetlist::lowered_stats`] against this limit to
+/// predict that rejection before allocation.
+pub const ENGINE_INDEX_MAX: usize = u32::MAX as usize;
+
 /// The engines store signal, span and fan-out-edge indices as `u32`.
 /// Rejects counts that would truncate, as [`SimError::NetworkTooLarge`].
 pub(crate) fn check_index_width(count: usize) -> Result<(), SimError> {
-    const MAX: usize = u32::MAX as usize;
-    if count > MAX {
-        return Err(SimError::NetworkTooLarge { count, max: MAX });
+    if count > ENGINE_INDEX_MAX {
+        return Err(SimError::NetworkTooLarge {
+            count,
+            max: ENGINE_INDEX_MAX,
+        });
     }
     Ok(())
 }

@@ -60,8 +60,9 @@ mod error;
 mod kernel;
 pub mod parallel;
 
-pub use bench::{BenchFunc, BenchGate, BenchNetlist, LoweredNetlist};
+pub use bench::{BenchFunc, BenchGate, BenchNetlist, LoweredNetlist, LoweredStats};
 pub use cells::CellLibrary;
 pub use engine::Simulator;
 pub use error::BenchError;
+pub use kernel::ENGINE_INDEX_MAX;
 pub use parallel::ParallelSimulator;

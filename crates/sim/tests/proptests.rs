@@ -468,7 +468,10 @@ fn error_duplicate() {
 #[test]
 fn error_undefined() {
     match BenchNetlist::parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)") {
-        Err(BenchError::Undefined { name }) => assert_eq!(name, "ghost"),
+        Err(BenchError::Undefined { line, name }) => {
+            assert_eq!(name, "ghost");
+            assert_eq!(line, 3, "reported at the referencing gate line");
+        }
         other => panic!("expected Undefined, got {other:?}"),
     }
     assert!(matches!(
@@ -622,7 +625,7 @@ fn c432_fixture_loads_runs_and_encodes_priorities() {
 
 /// Constant-input reference model of the committed C880-scale 8-bit ALU
 /// (see `make_data.rs`): buses as bit masks, controls as booleans,
-/// returns the 26 outputs in declaration order.
+/// returns the 27 outputs in declaration order.
 #[allow(clippy::too_many_arguments)]
 fn c880_reference(
     a: u16,
@@ -684,7 +687,7 @@ fn c880_reference(
     let mut out: Vec<bool> = (0..8).map(|i| r >> i & 1 == 1).collect();
     out.extend([cout, ovf, par, zero]);
     out.extend((0..8).map(|i| t >> i & 1 == 1));
-    out.extend([pt, eq, agb, k & 4 != 0, k & 2 != 0, k & 1 != 0]);
+    out.extend([pt, eq, agb, k & 4 != 0, k & 2 != 0, k & 1 != 0, t != 0]);
     out
 }
 
@@ -693,8 +696,8 @@ fn c880_fixture_loads_runs_and_matches_the_alu_reference() {
     let text = std::fs::read_to_string(workspace_root().join("data/bench/c880.bench")).unwrap();
     let nl = BenchNetlist::parse(&text).expect("c880 fixture parses");
     assert_eq!(nl.inputs().len(), 60);
-    assert_eq!(nl.outputs().len(), 26);
-    assert_eq!(nl.gates().len(), 365);
+    assert_eq!(nl.outputs().len(), 27);
+    assert_eq!(nl.gates().len(), 366);
 
     let lowered = nl.lower(&CellLibrary::ideal()).unwrap();
     let mut sim = Simulator::new(&lowered.net).expect("engine construction");

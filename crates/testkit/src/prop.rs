@@ -386,7 +386,7 @@ impl Default for Config {
         let seed = std::env::var("TESTKIT_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
-            .unwrap_or(0x6d69_735f_7465_73u64);
+            .unwrap_or(0x006d_6973_5f74_6573_u64);
         Config {
             cases: 256,
             seed,

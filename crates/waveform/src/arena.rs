@@ -101,7 +101,7 @@ impl<'a> TraceRef<'a> {
     #[inline]
     #[must_use]
     pub fn rising(self, k: usize) -> bool {
-        (k % 2 == 0) ^ self.initial
+        k.is_multiple_of(2) ^ self.initial
     }
 
     /// The signal value after the last edge.

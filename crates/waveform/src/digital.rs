@@ -349,7 +349,7 @@ mod tests {
         assert!(t.value_at(1.0), "edge takes effect at its timestamp");
         assert!(t.value_at(1.999_999));
         assert!(!t.value_at(2.0));
-        assert_eq!(t.final_value(), false);
+        assert!(!t.final_value());
         assert_eq!(t.transition_count(), 2);
     }
 

@@ -57,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (i, n) in names.iter().enumerate() {
         print!("  {n:<8}");
-        for j in 0..6 {
-            print!(" {:>8.3}", s[i][j]);
+        for v in &s[i] {
+            print!(" {v:>8.3}");
         }
         println!();
     }

@@ -9,6 +9,9 @@ export CARGO_NET_OFFLINE=true
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -26,7 +29,11 @@ cargo test -q --workspace --offline
 # belong with the perf gate (they also run as part of the workspace
 # tests above). The leg also regenerates every committed data/ artifact
 # in memory and fails on drift vs the committed bytes
-# (make_data --check). Enable with CI_BENCH=1.
+# (make_data --check), and runs the mis-analyze structural linter over
+# every committed .bench fixture with --deny-warnings: the fixtures
+# must stay diagnostic-clean (no dead logic, unused signals, degenerate
+# operands — codes A001–A007, see crates/analyze). Enable with
+# CI_BENCH=1.
 if [[ "${CI_BENCH:-0}" != "0" ]]; then
     echo "== allocation-counter gate (crates/digital/tests/alloc.rs)"
     cargo test -q -p mis-digital --test alloc --offline
@@ -34,6 +41,9 @@ if [[ "${CI_BENCH:-0}" != "0" ]]; then
     cargo test -q -p mis-sim --test alloc --offline
     echo "== committed-artifact reproducibility gate (make_data --check)"
     cargo run --release -q -p mis-bench --bin make_data --offline -- --check
+    echo "== netlist lint gate (lint_bench --deny-warnings data/bench/*.bench)"
+    cargo run --release -q -p mis-bench --bin lint_bench --offline -- \
+        --deny-warnings data/bench/*.bench
     echo "== bench regression gate (scripts/bench_diff.sh)"
     scripts/bench_diff.sh
 fi

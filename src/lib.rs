@@ -23,6 +23,11 @@
 //!   fixtures under `data/bench/`), `Arc`-shared standard-cell libraries,
 //!   and the event-queue evaluator bit-identical to `digital`'s
 //!   levelized sweep.
+//! * [`analyze`] (`mis-analyze`) — static netlist analysis: structural
+//!   lints over `.bench` netlists (stable `A001`–`A007` diagnostics with
+//!   source-line anchors) and static timing bounds — per-signal arrival
+//!   windows propagated from each channel's `DelayBounds`, property-
+//!   verified sound against the dynamic engines.
 //! * [`waveform`] (`mis-waveform`) — analog waveforms, digital traces,
 //!   digitization, deviation area, random trace generation.
 //! * [`num`] (`mis-num`) / [`linalg`] (`mis-linalg`) — the numerical
@@ -56,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub use mis_analog as analog;
+pub use mis_analyze as analyze;
 pub use mis_charlib as charlib;
 pub use mis_core as core;
 pub use mis_digital as digital;
