@@ -91,7 +91,7 @@ const FREEZE_DWELL: f64 = 30e-12;
 ///
 /// * `WorstCaseGnd` — a `(1,0)` dwell (A high, B low): `T2` conducts and
 ///   drains `N` into the pulled-down output; B then rises
-///   [`FREEZE_DWELL`] before the measurement edges, freezing `V_N ≈ GND`.
+///   `FREEZE_DWELL` before the measurement edges, freezing `V_N ≈ GND`.
 /// * `PrechargedVdd` — a `(0,1)` dwell (A low, B high): `T1` charges `N`
 ///   to `V_DD`; A then rises, freezing `V_N ≈ V_DD`.
 ///

@@ -4,7 +4,7 @@
 //!
 //! Two halves:
 //!
-//! * [`lint`] — structural checks over a parsed
+//! * [`mod@lint`] — structural checks over a parsed
 //!   [`mis_sim::BenchNetlist`], reported as stable diagnostic codes
 //!   (`A001`–`A007`, see [`DiagCode`]) anchored to real `.bench` source
 //!   lines. Six warnings for simulable-but-suspicious structure (unused

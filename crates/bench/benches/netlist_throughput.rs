@@ -12,7 +12,11 @@
 //!   kernels; zero allocations asserted by `crates/sim/tests/alloc.rs`).
 //!   The gap between a `sim` id and its `run_in` twin is the price of
 //!   event-queue scheduling — the cost the paper's full-simulator
-//!   setting actually measures.
+//!   setting actually measures. The `sim_probed` ids re-run the C432
+//!   workloads with a live `mis_probe::Probe` registry attached; the
+//!   gap to the plain `sim` twin is the price of *enabled*
+//!   instrumentation (the disabled-probe price is already inside `sim`,
+//!   which carries a disabled bundle through the same code).
 //! * `parN` ids — `mis_sim::ParallelSimulator::run_in` with N workers,
 //!   the per-cone engine (scoped thread spawns timed; worker arenas
 //!   warm), bit-identical to `sim` by the property suite.
@@ -105,6 +109,28 @@ fn bench_sim(
     inputs: &[DigitalTrace],
 ) {
     let mut sim = Simulator::new(net).expect("engine construction");
+    sim.run_in(inputs, arena).expect("warm-up run");
+    h.bench(id, move || {
+        sim.run_in(inputs, arena).expect("sim run");
+        arena.total_edges()
+    });
+}
+
+/// Benchmarks the event-queue engine with a *live* probe registry
+/// attached — the cost of instrumentation when it is actually on. The
+/// gap to the plain `sim` twin is what enabled counters, the heap
+/// gauge, the run span, and the post-run census walk cost per
+/// evaluation; the disabled-probe cost is the `sim` id itself, since
+/// every engine carries a (disabled) bundle through the same code.
+fn bench_sim_probed(
+    h: &mut Harness,
+    arena: &mut TraceArena,
+    id: &str,
+    net: &Network,
+    inputs: &[DigitalTrace],
+) {
+    let probe = mis_probe::Probe::new();
+    let mut sim = Simulator::new_probed(net, &probe).expect("engine construction");
     sim.run_in(inputs, arena).expect("warm-up run");
     h.bench(id, move || {
         sim.run_in(inputs, arena).expect("sim run");
@@ -244,6 +270,22 @@ fn main() {
         &mut h,
         &mut arena,
         "c432_inertial/sim",
+        &c432_inertial.net,
+        &c432_in,
+    );
+
+    // The probed twins: same circuits, same traffic, live registry.
+    bench_sim_probed(
+        &mut h,
+        &mut arena,
+        "c432_cached/sim_probed",
+        &c432_cached.net,
+        &c432_in,
+    );
+    bench_sim_probed(
+        &mut h,
+        &mut arena,
+        "c432_inertial/sim_probed",
         &c432_inertial.net,
         &c432_in,
     );

@@ -163,6 +163,25 @@ pub fn ascii_plot(series: &Series, column: usize, height: usize) -> String {
     out
 }
 
+/// Writes `text` to stdout, tolerating a vanished reader.
+///
+/// A downstream `head`/`less` that exits early closes the pipe, and
+/// `println!` panics on the resulting `EPIPE`. The netlist CLIs route
+/// their report output through this instead: a broken pipe is a clean
+/// early exit (the reader chose to stop), any other write error is
+/// fatal.
+pub fn emit(text: std::fmt::Arguments<'_>) {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_fmt(text).and_then(|()| out.flush()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("stdout write failed: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// Prints a banner naming the experiment and its paper artifact.
 pub fn banner(figure: &str, description: &str) {
     println!("================================================================");

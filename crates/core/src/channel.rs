@@ -51,7 +51,7 @@ impl NorGateModel {
     ///
     /// For `(1,1)` the output is settled at GND but `V_N` is genuinely
     /// ambiguous (the mode freezes it); the parameter set's
-    /// [`RisingInitialVn`] policy provides the value.
+    /// [`crate::RisingInitialVn`] policy provides the value.
     ///
     /// # Errors
     ///

@@ -191,7 +191,7 @@ pub fn rise_approx(params: &NorParams, delta: f64, x: f64, w: f64) -> Result<f64
 }
 
 /// Eq. (10) with an automatically placed probe: starts from the eq. (8)
-/// delay scale and re-linearizes [`AUTO_PROBE_ROUNDS`] times, so the probe
+/// delay scale and re-linearizes `AUTO_PROBE_ROUNDS` times, so the probe
 /// lands on the crossing regardless of technology time constants.
 ///
 /// # Errors

@@ -10,6 +10,7 @@ pub mod sumexp;
 
 use mis_waveform::{DigitalTrace, EdgeBuf, TraceRef};
 
+use crate::probe::ChannelCounters;
 use crate::SimError;
 
 /// A closed interval `[lo, hi]` (seconds) bounding the offset between any
@@ -81,6 +82,26 @@ pub trait TraceTransform: Send + Sync {
         Ok(())
     }
 
+    /// [`TraceTransform::apply_into`] with channel-event accounting:
+    /// implementations that track cancellations or pulse rejections
+    /// record them into `stats`. The default ignores `stats` and
+    /// delegates, so every channel is probed-callable; behavior (the
+    /// output trace, the error cases, the zero-allocation guarantee)
+    /// is identical to the unprobed path by contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceTransform::apply_into`].
+    fn apply_into_probed(
+        &self,
+        input: TraceRef<'_>,
+        out: &mut EdgeBuf,
+        stats: &ChannelCounters,
+    ) -> Result<(), SimError> {
+        let _ = stats;
+        self.apply_into(input, out)
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
 
@@ -126,6 +147,24 @@ pub trait TwoInputTransform: Send + Sync {
         Ok(())
     }
 
+    /// [`TwoInputTransform::apply2_into`] with channel-event
+    /// accounting — see [`TraceTransform::apply_into_probed`] for the
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TwoInputTransform::apply2_into`].
+    fn apply2_into_probed(
+        &self,
+        a: TraceRef<'_>,
+        b: TraceRef<'_>,
+        out: &mut EdgeBuf,
+        stats: &ChannelCounters,
+    ) -> Result<(), SimError> {
+        let _ = stats;
+        self.apply2_into(a, b, out)
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
 
@@ -151,6 +190,15 @@ impl<T: TraceTransform + ?Sized> TraceTransform for std::sync::Arc<T> {
         (**self).apply_into(input, out)
     }
 
+    fn apply_into_probed(
+        &self,
+        input: TraceRef<'_>,
+        out: &mut EdgeBuf,
+        stats: &ChannelCounters,
+    ) -> Result<(), SimError> {
+        (**self).apply_into_probed(input, out, stats)
+    }
+
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -172,6 +220,16 @@ impl<T: TwoInputTransform + ?Sized> TwoInputTransform for std::sync::Arc<T> {
         out: &mut EdgeBuf,
     ) -> Result<(), SimError> {
         (**self).apply2_into(a, b, out)
+    }
+
+    fn apply2_into_probed(
+        &self,
+        a: TraceRef<'_>,
+        b: TraceRef<'_>,
+        out: &mut EdgeBuf,
+        stats: &ChannelCounters,
+    ) -> Result<(), SimError> {
+        (**self).apply2_into_probed(a, b, out, stats)
     }
 
     fn name(&self) -> &str {

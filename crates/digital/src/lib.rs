@@ -76,6 +76,7 @@ pub mod gates;
 pub mod involution;
 pub mod netlists;
 mod network;
+pub mod probe;
 
 pub use channels::cached::{CachedHybridChannel, CachedHybridNandChannel};
 pub use channels::exp::ExpChannel;
@@ -87,3 +88,4 @@ pub use channels::sumexp::SumExpChannel;
 pub use channels::{DelayBounds, TraceTransform, TwoInputTransform};
 pub use error::SimError;
 pub use network::{GateKind, Network, SignalId, SignalSource};
+pub use probe::ChannelCounters;

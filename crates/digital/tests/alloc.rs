@@ -162,6 +162,76 @@ fn warm_channel_apply_into_is_allocation_free() {
 }
 
 #[test]
+fn warm_probed_channel_applies_are_allocation_free_and_count_events() {
+    // The probed entry points carry the same zero-allocation guarantee
+    // as the unprobed ones: metric *registration* is the cold path that
+    // may allocate; *recording* is atomic updates only.
+    use mis_digital::{ChannelCounters, TwoInputTransform};
+    let lib = quick_lib();
+    let cached = CachedHybridChannel::new(&lib).unwrap();
+    let inertial = InertialChannel::symmetric(ps(45.0), ps(35.0)).unwrap();
+    let probe = mis_probe::Probe::new();
+    let stats = ChannelCounters::register(&probe);
+    let inputs = traffic(0xB0B);
+    let (mut abuf, mut bbuf) = (EdgeBuf::new(), EdgeBuf::new());
+    abuf.copy_trace(&inputs[0]);
+    bbuf.copy_trace(&inputs[1]);
+    let mut out = EdgeBuf::new();
+    // Warm-up (also sizes the buffers).
+    cached
+        .apply2_into_probed(abuf.as_ref(), bbuf.as_ref(), &mut out, &stats)
+        .unwrap();
+    inertial
+        .apply_into_probed(abuf.as_ref(), &mut out, &stats)
+        .unwrap();
+    let before_lookups = stats.table_lookups();
+    assert!(
+        before_lookups > 0,
+        "dense traffic must walk the MIS surfaces"
+    );
+    let (allocations, ()) = alloc::count_in(|| {
+        for _ in 0..5 {
+            cached
+                .apply2_into_probed(abuf.as_ref(), bbuf.as_ref(), &mut out, &stats)
+                .unwrap();
+            inertial
+                .apply_into_probed(abuf.as_ref(), &mut out, &stats)
+                .unwrap();
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "warm probed applies allocated {allocations} times"
+    );
+    // Counters are cumulative and deterministic: five identical
+    // applications add five times the warm-up's totals.
+    assert_eq!(stats.table_lookups(), 6 * before_lookups);
+}
+
+#[test]
+fn probed_and_unprobed_paths_produce_identical_traces() {
+    use mis_digital::{ChannelCounters, TwoInputTransform};
+    let lib = quick_lib();
+    let cached = CachedHybridChannel::new(&lib).unwrap();
+    let probe = mis_probe::Probe::new();
+    let stats = ChannelCounters::register(&probe);
+    for seed in [0x1u64, 0x2, 0x3, 0x44] {
+        let inputs = traffic(seed);
+        let (mut abuf, mut bbuf) = (EdgeBuf::new(), EdgeBuf::new());
+        abuf.copy_trace(&inputs[0]);
+        bbuf.copy_trace(&inputs[1]);
+        let (mut plain, mut probed) = (EdgeBuf::new(), EdgeBuf::new());
+        cached
+            .apply2_into(abuf.as_ref(), bbuf.as_ref(), &mut plain)
+            .unwrap();
+        cached
+            .apply2_into_probed(abuf.as_ref(), bbuf.as_ref(), &mut probed, &stats)
+            .unwrap();
+        assert_eq!(plain.to_trace(), probed.to_trace(), "seed {seed:#x}");
+    }
+}
+
+#[test]
 fn counting_allocator_observes_allocations() {
     // Sanity of the harness itself: an allocating closure counts > 0 and
     // the deallocation counter moves with frees.

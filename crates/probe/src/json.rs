@@ -1,0 +1,275 @@
+//! The workspace's shared JSON renderer conventions: string escaping,
+//! float formatting, and a minimal well-formedness validator.
+//!
+//! Every machine-readable line the workspace emits (the probe report,
+//! `sim_profile --json`, `lint_bench --json`) goes through these
+//! helpers, so the emitters cannot silently drift apart — and each
+//! binary validates its own output with [`is_wellformed`] before
+//! printing, which is what the CI gate's "malformed JSON fails"
+//! promise rests on.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as a JSON string literal (quotes included).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON value: scientific notation for finite
+/// values (`1.5e-10` is a valid JSON number), `null` otherwise —
+/// infinities and NaN have no JSON representation.
+#[must_use]
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A minimal recursive-descent JSON syntax check: `true` iff `s` is
+/// one complete, well-formed JSON value. Validates structure only (no
+/// number range or unicode-escape semantics beyond hex digits) —
+/// enough to catch a broken renderer, which is its one job.
+#[must_use]
+pub fn is_wellformed(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    match parse_value(b, pos, 0) {
+        Some(next) => {
+            pos = skip_ws(b, next);
+            pos == b.len()
+        }
+        None => false,
+    }
+}
+
+/// Nesting depth cap — a structural validator needs no 10k-deep trees,
+/// and the cap keeps recursion bounded.
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+/// Parses one JSON value at `pos`, returning the position after it.
+fn parse_value(b: &[u8], pos: usize, depth: usize) -> Option<usize> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    match b.get(pos)? {
+        b'{' => parse_object(b, pos + 1, depth + 1),
+        b'[' => parse_array(b, pos + 1, depth + 1),
+        b'"' => parse_string(b, pos + 1),
+        b't' => parse_lit(b, pos, b"true"),
+        b'f' => parse_lit(b, pos, b"false"),
+        b'n' => parse_lit(b, pos, b"null"),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => None,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: usize, lit: &[u8]) -> Option<usize> {
+    b.get(pos..pos + lit.len())
+        .filter(|s| *s == lit)
+        .map(|_| pos + lit.len())
+}
+
+/// `pos` is just past the opening quote.
+fn parse_string(b: &[u8], mut pos: usize) -> Option<usize> {
+    loop {
+        match b.get(pos)? {
+            b'"' => return Some(pos + 1),
+            b'\\' => match b.get(pos + 1)? {
+                b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => pos += 2,
+                b'u' => {
+                    let hex = b.get(pos + 2..pos + 6)?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return None;
+                    }
+                    pos += 6;
+                }
+                _ => return None,
+            },
+            0x00..=0x1f => return None,
+            _ => pos += 1,
+        }
+    }
+}
+
+fn parse_number(b: &[u8], mut pos: usize) -> Option<usize> {
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let int_start = pos;
+    while pos < b.len() && b[pos].is_ascii_digit() {
+        pos += 1;
+    }
+    if pos == int_start {
+        return None;
+    }
+    // Leading zeros: "0" alone is fine, "01" is not.
+    if b[int_start] == b'0' && pos > int_start + 1 {
+        return None;
+    }
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        let frac_start = pos;
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == frac_start {
+            return None;
+        }
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        let exp_start = pos;
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == exp_start {
+            return None;
+        }
+    }
+    Some(pos)
+}
+
+/// `pos` is just past `{`.
+fn parse_object(b: &[u8], pos: usize, depth: usize) -> Option<usize> {
+    let mut pos = skip_ws(b, pos);
+    if b.get(pos) == Some(&b'}') {
+        return Some(pos + 1);
+    }
+    loop {
+        if *b.get(pos)? != b'"' {
+            return None;
+        }
+        pos = parse_string(b, pos + 1)?;
+        pos = skip_ws(b, pos);
+        if *b.get(pos)? != b':' {
+            return None;
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = parse_value(b, pos, depth)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos)? {
+            b',' => pos = skip_ws(b, pos + 1),
+            b'}' => return Some(pos + 1),
+            _ => return None,
+        }
+    }
+}
+
+/// `pos` is just past `[`.
+fn parse_array(b: &[u8], pos: usize, depth: usize) -> Option<usize> {
+    let mut pos = skip_ws(b, pos);
+    if b.get(pos) == Some(&b']') {
+        return Some(pos + 1);
+    }
+    loop {
+        pos = parse_value(b, pos, depth)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos)? {
+            b',' => pos = skip_ws(b, pos + 1),
+            b']' => return Some(pos + 1),
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_through_the_validator() {
+        for s in ["plain", "with \"quotes\"", "back\\slash", "ctrl\nchars\t"] {
+            let lit = json_string(s);
+            assert!(is_wellformed(&lit), "{lit}");
+        }
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("\n"), "\"\\u000a\"");
+    }
+
+    #[test]
+    fn float_formatting_is_json_safe() {
+        for v in [0.0, 1.0, -2.5, 1.5e-10, 3.2e12] {
+            let s = json_f64(v);
+            assert!(is_wellformed(&s), "{v} -> {s}");
+        }
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn validator_accepts_wellformed() {
+        for s in [
+            "null",
+            "true",
+            "-12.5e-3",
+            "\"str\"",
+            "[]",
+            "{}",
+            "[1,2,[3,{\"a\":null}]]",
+            "{\"a\":{\"b\":[1,2]},\"c\":\"d\"}",
+            " { \"a\" : 1 } ",
+            "0",
+            "1e0",
+        ] {
+            assert!(is_wellformed(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        for s in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\escape\\x\"",
+            "truefalse",
+            "{} {}",
+            "[1 2]",
+            "nul",
+        ] {
+            assert!(!is_wellformed(s), "{s} should be rejected");
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_pathological_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(!is_wellformed(&deep));
+        let ok = "[".repeat(20) + &"]".repeat(20);
+        assert!(is_wellformed(&ok));
+    }
+}

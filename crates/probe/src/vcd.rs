@@ -1,0 +1,288 @@
+//! Value Change Dump (VCD) export of simulator result sets.
+//!
+//! A [`VcdSignal`] pairs a signal name (from the netlist) with a
+//! borrowed [`TraceRef`] view; [`write_vcd`] serializes a set of them
+//! as an IEEE-1364 VCD file that standard waveform viewers (GTKWave
+//! and friends) open directly.
+//!
+//! # Polarity and time mapping
+//!
+//! The workspace stores traces as an initial value plus a sorted edge
+//! *time* list, with polarities implied by parity (edge `k` rises iff
+//! `k` even XOR initial). VCD wants explicit values, so the writer
+//! walks each trace toggling from the initial value and emits `0`/`1`
+//! value changes. Times (seconds, `f64`) are quantized to the
+//! **1 fs** timescale by rounding ([`quantize_edges`]); a pulse whose
+//! two edges round to the same femtosecond tick is unrepresentable at
+//! that timescale and is dropped — pairwise, so the parity/polarity
+//! correspondence survives, exactly like an inertial rejection with a
+//! 1 fs window. (The engines' monotonicity nudge is 1e-18 s, three
+//! decimal orders below the tick, so nudged edges are the one place
+//! this fires in practice.)
+
+use std::fmt;
+use std::io;
+
+use mis_waveform::TraceRef;
+
+/// Femtoseconds per second — the fixed `$timescale 1 fs` of the export.
+pub const FS_PER_SECOND: f64 = 1e15;
+
+/// One named signal to dump.
+#[derive(Debug, Clone, Copy)]
+pub struct VcdSignal<'a> {
+    /// The declared wire name (netlist signal name).
+    pub name: &'a str,
+    /// The signal's trace view.
+    pub trace: TraceRef<'a>,
+}
+
+/// Why a VCD export failed.
+#[derive(Debug)]
+pub enum VcdError {
+    /// The underlying writer failed.
+    Io(io::Error),
+    /// A signal name is empty or contains non-printable/whitespace
+    /// characters (VCD identifiers are whitespace-delimited tokens).
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// An edge time is negative, non-finite, or too large for the
+    /// femtosecond tick range.
+    BadTime {
+        /// The signal whose trace holds the edge.
+        signal: String,
+        /// The offending time, seconds.
+        time: f64,
+    },
+}
+
+impl fmt::Display for VcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcdError::Io(e) => write!(f, "vcd write failed: {e}"),
+            VcdError::InvalidName { name } => {
+                write!(
+                    f,
+                    "invalid vcd signal name {name:?} (empty or non-printable)"
+                )
+            }
+            VcdError::BadTime { signal, time } => write!(
+                f,
+                "signal '{signal}': edge time {time:e} s not representable at the 1 fs timescale"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VcdError {}
+
+impl From<io::Error> for VcdError {
+    fn from(e: io::Error) -> Self {
+        VcdError::Io(e)
+    }
+}
+
+/// Quantizes a sorted edge-time list (seconds) to femtosecond ticks,
+/// dropping — pairwise, stack-style — adjacent edges that round to the
+/// same tick (a sub-tick pulse is unrepresentable; removing both edges
+/// preserves the alternating parity polarity). Returns `Err(t)` for
+/// the first time that is negative, non-finite, or beyond the `u64`
+/// tick range.
+///
+/// # Errors
+///
+/// `Err(time)` with the first unrepresentable edge time.
+pub fn quantize_edges(times: &[f64]) -> Result<Vec<u64>, f64> {
+    let mut ticks: Vec<u64> = Vec::with_capacity(times.len());
+    for &t in times {
+        // The comparison also rejects NaN. 2^63 fs ≈ 2.5 hours of
+        // simulated time — far past any trace here; the guard keeps the
+        // cast lossless rather than saturating silently.
+        let scaled = (t * FS_PER_SECOND).round();
+        if !(t >= 0.0) || !(scaled <= 9.2e18) {
+            return Err(t);
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let tick = scaled as u64;
+        if ticks.last() == Some(&tick) {
+            ticks.pop();
+        } else {
+            ticks.push(tick);
+        }
+    }
+    Ok(ticks)
+}
+
+/// The printable-ASCII identifier code of wire `i` (base-94 over
+/// `'!'..='~'`, least-significant digit first).
+#[must_use]
+pub fn id_code(i: usize) -> String {
+    let mut code = String::new();
+    let mut i = i;
+    loop {
+        #[allow(clippy::cast_possible_truncation)]
+        let digit = (i % 94) as u8;
+        code.push((b'!' + digit) as char);
+        i /= 94;
+        if i == 0 {
+            return code;
+        }
+        i -= 1; // Bijective numeration: "!!" must differ from "!".
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty() && name.chars().all(|c| c.is_ascii_graphic())
+}
+
+/// Writes `signals` as one VCD module scope (`top`) at a 1 fs
+/// timescale. Deterministic: the output depends only on the signal
+/// list (declaration order = list order; value changes sorted by tick,
+/// then by list index).
+///
+/// # Errors
+///
+/// [`VcdError::InvalidName`] / [`VcdError::BadTime`] on
+/// unrepresentable inputs, [`VcdError::Io`] when the writer fails.
+pub fn write_vcd<W: io::Write>(w: &mut W, signals: &[VcdSignal<'_>]) -> Result<(), VcdError> {
+    // Quantize every trace first: errors surface before any output.
+    let mut quantized: Vec<Vec<u64>> = Vec::with_capacity(signals.len());
+    for s in signals {
+        if !valid_name(s.name) {
+            return Err(VcdError::InvalidName {
+                name: s.name.to_string(),
+            });
+        }
+        let ticks = quantize_edges(s.trace.times()).map_err(|t| VcdError::BadTime {
+            signal: s.name.to_string(),
+            time: t,
+        })?;
+        quantized.push(ticks);
+    }
+
+    writeln!(w, "$version mis-probe vcd export $end")?;
+    writeln!(w, "$timescale 1 fs $end")?;
+    writeln!(w, "$scope module top $end")?;
+    for (i, s) in signals.iter().enumerate() {
+        writeln!(w, "$var wire 1 {} {} $end", id_code(i), s.name)?;
+    }
+    writeln!(w, "$upscope $end")?;
+    writeln!(w, "$enddefinitions $end")?;
+    writeln!(w, "$dumpvars")?;
+    for (i, s) in signals.iter().enumerate() {
+        writeln!(w, "{}{}", u8::from(s.trace.initial_value()), id_code(i))?;
+    }
+    writeln!(w, "$end")?;
+
+    // Merge all value changes by (tick, declaration index). Each
+    // surviving edge toggles its signal's value, starting from the
+    // initial value (pairwise cancellation preserved alternation).
+    let mut events: Vec<(u64, u32, bool)> = Vec::new();
+    for (i, (s, ticks)) in signals.iter().zip(&quantized).enumerate() {
+        let mut value = s.trace.initial_value();
+        for &tick in ticks {
+            value = !value;
+            #[allow(clippy::cast_possible_truncation)]
+            events.push((tick, i as u32, value));
+        }
+    }
+    events.sort_unstable_by_key(|&(tick, idx, _)| (tick, idx));
+    let mut last_tick = None;
+    for (tick, idx, value) in events {
+        if last_tick != Some(tick) {
+            writeln!(w, "#{tick}")?;
+            last_tick = Some(tick);
+        }
+        writeln!(w, "{}{}", u8::from(value), id_code(idx as usize))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: f64) -> f64 {
+        v * 1e-12
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| c.is_ascii_graphic()), "{code:?}");
+            assert!(seen.insert(code), "collision at {i}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    fn quantization_rounds_and_cancels_subtick_pulses() {
+        assert_eq!(quantize_edges(&[ps(1.0), ps(2.0)]), Ok(vec![1000, 2000]));
+        // Two edges 1e-18 s apart round to one tick: both vanish.
+        let t = ps(1.0);
+        assert_eq!(quantize_edges(&[t, t + 1e-18, ps(3.0)]), Ok(vec![3000]));
+        assert!(quantize_edges(&[-1e-12]).is_err());
+        assert!(quantize_edges(&[f64::NAN]).is_err());
+        assert!(quantize_edges(&[1e6]).is_err());
+    }
+
+    #[test]
+    fn writes_a_small_deterministic_dump() {
+        let a_times = [ps(1.0), ps(3.0)];
+        let b_times = [ps(1.0)];
+        let signals = [
+            VcdSignal {
+                name: "a",
+                trace: TraceRef::new(false, &a_times),
+            },
+            VcdSignal {
+                name: "b",
+                trace: TraceRef::new(true, &b_times),
+            },
+        ];
+        let mut out = Vec::new();
+        write_vcd(&mut out, &signals).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let want = "$version mis-probe vcd export $end\n\
+                    $timescale 1 fs $end\n\
+                    $scope module top $end\n\
+                    $var wire 1 ! a $end\n\
+                    $var wire 1 \" b $end\n\
+                    $upscope $end\n\
+                    $enddefinitions $end\n\
+                    $dumpvars\n\
+                    0!\n\
+                    1\"\n\
+                    $end\n\
+                    #1000\n\
+                    1!\n\
+                    0\"\n\
+                    #3000\n\
+                    0!\n";
+        assert_eq!(text, want);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        let flat = TraceRef::new(false, &[]);
+        for name in ["", "has space", "tab\tbed"] {
+            let s = [VcdSignal { name, trace: flat }];
+            assert!(matches!(
+                write_vcd(&mut Vec::new(), &s),
+                Err(VcdError::InvalidName { .. })
+            ));
+        }
+        // The lowering's temp names ('#t0' suffixes) are printable and fine.
+        let s = [VcdSignal {
+            name: "g5#t0",
+            trace: flat,
+        }];
+        assert!(write_vcd(&mut Vec::new(), &s).is_ok());
+    }
+}

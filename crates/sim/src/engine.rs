@@ -10,7 +10,7 @@
 //!
 //! * **Dependency counting.** Each gate waits until every fan-in signal
 //!   is sealed; fan-out edges are stored in a flat CSR layout built once
-//!   at construction ([`crate::kernel::FanoutCsr`]). Declaration order
+//!   at construction (`crate::kernel::FanoutCsr`). Declaration order
 //!   is irrelevant — any acyclic wiring evaluates, which is what
 //!   `.bench` circuits (with their forward references) need.
 //! * **Time-ordered ready queue.** A ready gate enters a binary min-heap
@@ -20,7 +20,7 @@
 //!   makes it deterministic.
 //! * **Identical kernels.** A popped gate is evaluated by the very same
 //!   fused ideal-gate + channel passes `Network::run_in` uses
-//!   ([`crate::kernel::eval_signal_into`], shared with the parallel
+//!   (`crate::kernel::eval_signal_into`, shared with the parallel
 //!   per-cone engine). Because each gate's output depends only on its
 //!   already-sealed fan-in traces — never on queue order — the engine is
 //!   **bit-identical** to the levelized sweep by confluence, a property
@@ -58,9 +58,11 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use mis_digital::{Network, SignalId, SignalSource, SimError};
+use mis_probe::Probe;
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
 use crate::kernel::{self, FanoutCsr};
+use crate::probe::{census_index, SimCounters};
 
 /// A gate whose fan-ins are all sealed, keyed for the ready queue.
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +116,10 @@ pub struct Simulator<'n> {
     span_of: Vec<u32>,
     /// The ready queue (capacity: every signal, preallocated).
     heap: BinaryHeap<Ready>,
+    /// Engine metrics — a disabled bundle for [`Simulator::new`]
+    /// engines, so recording is compiled in unconditionally and the
+    /// unprobed hot loop pays only local register updates.
+    counters: SimCounters,
 }
 
 impl<'n> Simulator<'n> {
@@ -125,6 +131,23 @@ impl<'n> Simulator<'n> {
     /// [`SimError::NetworkTooLarge`] when the network's signal or
     /// fan-out-edge count exceeds the engine's `u32` index width.
     pub fn new(net: &'n Network) -> Result<Self, SimError> {
+        Self::with_counters(net, SimCounters::disabled())
+    }
+
+    /// [`Simulator::new`] with metrics recording into `probe`: every
+    /// run updates the `sim.*` event counters, the ready-queue
+    /// high-water gauge, the run span timer, the per-kind edge census,
+    /// and the `chan.*` channel counters. Identical evaluation
+    /// semantics; the probed engine's warm runs stay allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::new`].
+    pub fn new_probed(net: &'n Network, probe: &Probe) -> Result<Self, SimError> {
+        Self::with_counters(net, SimCounters::register(probe))
+    }
+
+    fn with_counters(net: &'n Network, counters: SimCounters) -> Result<Self, SimError> {
         let n = net.signal_count();
         let csr = FanoutCsr::build(net)?;
         Ok(Simulator {
@@ -133,6 +156,7 @@ impl<'n> Simulator<'n> {
             deps_left: vec![0; n],
             span_of: vec![0; n],
             heap: BinaryHeap::with_capacity(n),
+            counters,
         })
     }
 
@@ -140,6 +164,13 @@ impl<'n> Simulator<'n> {
     #[must_use]
     pub fn network(&self) -> &'n Network {
         self.net
+    }
+
+    /// The engine's metric bundle (disabled for [`Simulator::new`]
+    /// engines).
+    #[must_use]
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
     }
 
     /// Evaluates the network into `arena` through the event queue. After
@@ -168,6 +199,7 @@ impl<'n> Simulator<'n> {
                 ),
             });
         }
+        let started = self.counters.start_run();
         arena.reset();
         self.heap.clear();
         self.deps_left.copy_from_slice(&self.csr.indeg);
@@ -181,9 +213,18 @@ impl<'n> Simulator<'n> {
         for i in 0..inputs.len() {
             self.notify_fanout(i, arena);
         }
+        // Event tallies stay in registers through the loop; the shared
+        // counters see one flush per run (see `SimCounters`).
+        let (mut pops, mut dups) = (0u64, 0u64);
+        let mut heap_hw = self.heap.len();
         while let Some(Ready { signal, .. }) = self.heap.pop() {
+            // `len + 1` is the queue depth just before this pop — pushes
+            // only happen in `notify_fanout`, so the maximum depth is
+            // always observed at a pop.
+            heap_hw = heap_hw.max(self.heap.len() + 1);
+            pops += 1;
             let s = signal as usize;
-            self.eval(s, arena)?;
+            dups += u64::from(self.eval(s, arena)?);
             sealed += 1;
             self.notify_fanout(s, arena);
         }
@@ -192,7 +233,24 @@ impl<'n> Simulator<'n> {
             self.net.signal_count(),
             "event loop drained before every gate was evaluated"
         );
+        self.counters
+            .finish_run(started, pops, dups, heap_hw as u64);
+        if self.counters.is_enabled() {
+            self.census(arena);
+        }
         Ok(())
+    }
+
+    /// The post-run per-kind edge census: one O(n) walk over the sealed
+    /// spans, run only when the probe is enabled — the event loop never
+    /// pays for it.
+    fn census(&self, arena: &TraceArena) {
+        for s in 0..self.net.signal_count() {
+            let id = self.net.signal_id(s).expect("s < signal_count");
+            let class = census_index(&self.net.source(id));
+            let edges = arena.trace(self.span_of[s] as usize).len() as u64;
+            self.counters.census(class, edges);
+        }
     }
 
     /// The allocating compatibility wrapper: evaluates through a
@@ -276,17 +334,22 @@ impl<'n> Simulator<'n> {
 
     /// Evaluates one gate through the shared per-gate kernel
     /// ([`crate::kernel::eval_signal_into`]) and seals its output span.
-    fn eval(&mut self, s: usize, arena: &mut TraceArena) -> Result<(), SimError> {
+    /// Returns whether the gate resolved as a duplicate-span shortcut
+    /// (the run loop's duplicate tally).
+    fn eval(&mut self, s: usize, arena: &mut TraceArena) -> Result<bool, SimError> {
         let net = self.net;
         let id = net.signal_id(s).expect("s < signal_count");
         let source = net.source(id);
-        let span = match kernel::duplicate_shortcut(&source) {
-            Some((src, invert)) => arena.push_duplicate(self.span_of[src.index()] as usize, invert),
-            None => self.eval_staged(source, arena)?,
+        let (span, dup) = match kernel::duplicate_shortcut(&source) {
+            Some((src, invert)) => (
+                arena.push_duplicate(self.span_of[src.index()] as usize, invert),
+                true,
+            ),
+            None => (self.eval_staged(source, arena)?, false),
         };
         // Lossless: spans per run = signal count, checked at construction.
         self.span_of[s] = span as u32;
-        Ok(())
+        Ok(dup)
     }
 
     /// The staging-buffer path of [`Simulator::eval`]: runs the shared
@@ -303,6 +366,7 @@ impl<'n> Simulator<'n> {
             |sid| sealed.trace(span_of[sid.index()] as usize),
             out,
             scratch,
+            self.counters.channels(),
         )?;
         Ok(arena.seal_out())
     }
@@ -364,6 +428,67 @@ mod tests {
         net.add_input("a");
         let mut sim = Simulator::new(&net).unwrap();
         assert!(sim.run(&[]).is_err());
+    }
+
+    #[test]
+    fn probed_engine_counts_pops_gates_and_census() {
+        use mis_probe::Probe;
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let nor = net
+            .add_gate(
+                "nor",
+                GateKind::Nor,
+                &[a, b],
+                Some(Box::new(
+                    InertialChannel::symmetric(ps(40.0), ps(30.0)).unwrap(),
+                )),
+            )
+            .unwrap();
+        // A channel-less NOT: the duplicate-span shortcut.
+        net.add_gate("inv", GateKind::Not, &[nor], None).unwrap();
+        let ta =
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(400.0), false)]).unwrap();
+        let tb = DigitalTrace::constant(false);
+        let inputs = [ta, tb];
+
+        let probe = Probe::new();
+        let mut sim = Simulator::new_probed(&net, &probe).unwrap();
+        let mut arena = TraceArena::new();
+        sim.run_in(&inputs, &mut arena).unwrap();
+        sim.run_in(&inputs, &mut arena).unwrap();
+
+        let c = sim.counters();
+        // Every non-input signal pops exactly once per run.
+        assert_eq!(c.runs(), 2);
+        assert_eq!(c.events_popped(), 2 * 2);
+        assert_eq!(c.duplicate_spans(), 2, "one channel-less NOT per run");
+        assert_eq!(c.gates_evaluated(), 2);
+        assert!(c.heap_high_water() >= 1);
+
+        // The census sees each class's output edges: `a` has 2 edges,
+        // `b` none; NOR output = delayed pulse (2 edges), NOT mirrors it.
+        let report = probe.report();
+        assert_eq!(report.get("sim.edges.input").unwrap().scalar(), Some(2 * 2));
+        assert_eq!(report.get("sim.edges.nor").unwrap().scalar(), Some(2 * 2));
+        assert_eq!(report.get("sim.edges.not").unwrap().scalar(), Some(2 * 2));
+        // Results are bit-identical to the unprobed engine.
+        let want = Simulator::new(&net).unwrap().run(&inputs).unwrap();
+        let got = sim.run(&inputs).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unprobed_engine_carries_a_disabled_bundle() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        net.add_gate("y", GateKind::Not, &[a], None).unwrap();
+        let mut sim = Simulator::new(&net).unwrap();
+        sim.run(&[DigitalTrace::constant(false)]).unwrap();
+        assert!(!sim.counters().is_enabled());
+        assert_eq!(sim.counters().events_popped(), 0);
+        assert_eq!(sim.counters().runs(), 0);
     }
 
     #[test]

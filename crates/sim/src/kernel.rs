@@ -11,7 +11,7 @@
 //! so any schedule (event order, cone order, thread interleaving) that
 //! respects dependencies produces the same traces.
 
-use mis_digital::{gates, GateKind, Network, SignalId, SignalSource, SimError};
+use mis_digital::{gates, ChannelCounters, GateKind, Network, SignalId, SignalSource, SimError};
 use mis_waveform::{EdgeBuf, TraceRef};
 
 /// The largest signal count (and total fan-out edge count) the engines
@@ -143,6 +143,12 @@ pub(crate) fn duplicate_shortcut(source: &SignalSource<'_>) -> Option<(SignalId,
 /// gates first; the channel-less unary arm below remains as the general
 /// fallback so the kernel is total over non-input sources.)
 ///
+/// Channel applications record into `stats` through the probed trait
+/// entry points; unprobed engines pass the
+/// [`ChannelCounters::disabled`] sink, which the probed paths treat as
+/// a branch-only no-op, so there is still exactly **one** kernel for
+/// every engine and both probe modes.
+///
 /// # Errors
 ///
 /// Propagates channel failures.
@@ -156,6 +162,7 @@ pub(crate) fn eval_signal_into<'a, F>(
     resolve: F,
     out: &mut EdgeBuf,
     scratch: &mut EdgeBuf,
+    stats: &ChannelCounters,
 ) -> Result<(), SimError>
 where
     F: Fn(SignalId) -> TraceRef<'a>,
@@ -177,7 +184,7 @@ where
                         out.copy_ref(view);
                         Ok(())
                     }
-                    Some(ch) => ch.apply_into(view, out),
+                    Some(ch) => ch.apply_into_probed(view, out, stats),
                 }
             }
             Some(f) => {
@@ -187,7 +194,7 @@ where
                     None => gates::combine2_into(f, va, vb, out),
                     Some(ch) => {
                         gates::combine2_into(f, va, vb, scratch)?;
-                        ch.apply_into(scratch.as_ref(), out)
+                        ch.apply_into_probed(scratch.as_ref(), out, stats)
                     }
                 }
             }
@@ -195,7 +202,7 @@ where
         SignalSource::TwoInputChannelGate { inputs, channel } => {
             let va = resolve(inputs[0]);
             let vb = resolve(inputs[1]);
-            channel.apply2_into(va, vb, out)
+            channel.apply2_into_probed(va, vb, out, stats)
         }
     }
 }

@@ -8,7 +8,7 @@
 //! interconnected circuits outright. This crate supplies that missing
 //! granularity in four pieces:
 //!
-//! * [`bench`] — an ISCAS-85 `.bench` parser/writer and its lowering
+//! * [`mod@bench`] — an ISCAS-85 `.bench` parser/writer and its lowering
 //!   onto the [`mis_digital::Network`] builder (topological ordering of
 //!   forward references, balanced zero-time reduction of wide fan-ins,
 //!   one timed cell per `.bench` gate). Committed fixtures for C17 and
@@ -59,6 +59,7 @@ pub mod engine;
 mod error;
 mod kernel;
 pub mod parallel;
+pub mod probe;
 
 pub use bench::{BenchFunc, BenchGate, BenchNetlist, LoweredNetlist, LoweredStats};
 pub use cells::CellLibrary;
@@ -66,3 +67,4 @@ pub use engine::Simulator;
 pub use error::BenchError;
 pub use kernel::ENGINE_INDEX_MAX;
 pub use parallel::ParallelSimulator;
+pub use probe::SimCounters;

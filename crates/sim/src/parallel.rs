@@ -56,7 +56,8 @@
 //! # }
 //! ```
 
-use mis_digital::{Network, SignalId, SignalSource, SimError};
+use mis_digital::{ChannelCounters, Network, SignalId, SignalSource, SimError};
+use mis_probe::{Gauge, Probe, SpanTimer};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
 use crate::kernel::{self, FanoutCsr};
@@ -163,6 +164,15 @@ struct Worker {
     span_of: Vec<u32>,
     /// Worker-owned trace storage, reused run to run.
     arena: TraceArena,
+    /// Partition size, published as the `par.w<i>.load` gauge — the
+    /// registry is the source of truth [`ParallelSimulator::worker_loads`]
+    /// reads back (gauge *sets* store even on a disabled probe).
+    load: Gauge,
+    /// Per-run busy span, `par.w<i>.busy`.
+    busy: SpanTimer,
+    /// Channel-event sink for this worker's kernel calls (all workers
+    /// share the one `chan.*` cell set; counters are cumulative).
+    chan: ChannelCounters,
 }
 
 impl Worker {
@@ -170,6 +180,13 @@ impl Worker {
     /// Cone-closure guarantees every fan-in of an assigned signal is
     /// assigned too, so all reads hit this worker's already-sealed spans.
     fn evaluate(&mut self, net: &Network, inputs: &[DigitalTrace]) -> Result<(), SimError> {
+        let started = self.busy.start();
+        let result = self.evaluate_inner(net, inputs);
+        self.busy.stop(started);
+        result
+    }
+
+    fn evaluate_inner(&mut self, net: &Network, inputs: &[DigitalTrace]) -> Result<(), SimError> {
         self.arena.reset();
         for &s in &self.signals {
             let s = s as usize;
@@ -185,12 +202,14 @@ impl Worker {
                     .push_duplicate(self.span_of[src.index()] as usize, invert)
             } else {
                 let span_of = &self.span_of;
+                let chan = &self.chan;
                 let (sealed, out, scratch) = self.arena.stage();
                 kernel::eval_signal_into(
                     source,
                     |sid| sealed.trace(span_of[sid.index()] as usize),
                     out,
                     scratch,
+                    chan,
                 )?;
                 self.arena.seal_out()
             };
@@ -217,6 +236,11 @@ pub struct ParallelSimulator<'n> {
     /// For each signal, the index of the worker whose arena the merge
     /// reads it from (the lowest-indexed worker that evaluates it).
     owner: Vec<u32>,
+    /// Total assigned signals (`par.assigned_signals` gauge): the
+    /// registry value [`ParallelSimulator::replication_factor`] reads.
+    assigned: Gauge,
+    /// Span of the signal-order merge, `par.merge`.
+    merge: SpanTimer,
 }
 
 impl<'n> ParallelSimulator<'n> {
@@ -234,6 +258,22 @@ impl<'n> ParallelSimulator<'n> {
     /// * [`SimError::NetworkTooLarge`] — the network exceeds the `u32`
     ///   index width (same check as [`crate::Simulator::new`]).
     pub fn new(net: &'n Network, workers: usize) -> Result<Self, SimError> {
+        Self::new_probed(net, workers, &Probe::disabled())
+    }
+
+    /// [`ParallelSimulator::new`] with metrics recording into `probe`:
+    /// per-worker `par.w<i>.load` gauges and `par.w<i>.busy` span
+    /// timers, the `par.assigned_signals` replication gauge, the
+    /// `par.merge` merge span, and the shared `chan.*` channel
+    /// counters. The load and replication gauges are *set* at
+    /// construction, so [`ParallelSimulator::worker_loads`] and
+    /// [`ParallelSimulator::replication_factor`] read through the
+    /// registry even on a disabled probe.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelSimulator::new`].
+    pub fn new_probed(net: &'n Network, workers: usize, probe: &Probe) -> Result<Self, SimError> {
         if workers == 0 {
             return Err(SimError::Network {
                 reason: "parallel evaluation needs at least one worker".into(),
@@ -263,6 +303,7 @@ impl<'n> ParallelSimulator<'n> {
             sizes[best] = unions[best].count();
         }
         let mut owner = vec![u32::MAX; n];
+        let chan = ChannelCounters::register(probe);
         let workers: Vec<Worker> = unions
             .iter()
             .enumerate()
@@ -276,7 +317,12 @@ impl<'n> ParallelSimulator<'n> {
                         s as u32
                     })
                     .collect();
+                let load = probe.gauge(&format!("par.w{w}.load"));
+                load.set(signals.len() as u64);
                 Worker {
+                    busy: probe.timer(&format!("par.w{w}.busy")),
+                    load,
+                    chan: chan.clone(),
                     signals,
                     span_of: vec![0; n],
                     arena: TraceArena::new(),
@@ -287,10 +333,14 @@ impl<'n> ParallelSimulator<'n> {
             owner.iter().all(|&w| w != u32::MAX),
             "sink cones must cover every signal"
         );
+        let assigned = probe.gauge("par.assigned_signals");
+        assigned.set(workers.iter().map(|w| w.signals.len() as u64).sum());
         Ok(ParallelSimulator {
             net,
             workers,
             owner,
+            assigned,
+            merge: probe.timer("par.merge"),
         })
     }
 
@@ -308,17 +358,26 @@ impl<'n> ParallelSimulator<'n> {
 
     /// Signals assigned to each worker — the partition's load picture.
     /// The sum exceeds the signal count by the cone-overlap redundancy.
+    ///
+    /// A thin view over the `par.w<i>.load` registry gauges (set once
+    /// at construction), so a profile report and this accessor can
+    /// never disagree.
     #[must_use]
     pub fn worker_loads(&self) -> Vec<usize> {
-        self.workers.iter().map(|w| w.signals.len()).collect()
+        self.workers
+            .iter()
+            .map(|w| w.load.value() as usize)
+            .collect()
     }
 
     /// Total assigned signals divided by the signal count: 1.0 means no
     /// redundant work, W means every worker evaluates everything.
+    ///
+    /// Reads the `par.assigned_signals` registry gauge — same
+    /// source-of-truth argument as [`ParallelSimulator::worker_loads`].
     #[must_use]
     pub fn replication_factor(&self) -> f64 {
-        let total: usize = self.workers.iter().map(|w| w.signals.len()).sum();
-        total as f64 / self.net.signal_count().max(1) as f64
+        self.assigned.value() as f64 / self.net.signal_count().max(1) as f64
     }
 
     /// Evaluates the network into `arena`: scoped workers evaluate their
@@ -368,11 +427,13 @@ impl<'n> ParallelSimulator<'n> {
             }
             result
         })?;
+        let merge_started = self.merge.start();
         arena.reset();
         for s in 0..net.signal_count() {
             let w = &self.workers[self.owner[s] as usize];
             arena.push_view(w.arena.trace(w.span_of[s] as usize));
         }
+        self.merge.stop(merge_started);
         Ok(())
     }
 
@@ -485,6 +546,43 @@ mod tests {
         let (net, _, _) = two_cone_net();
         let mut par = ParallelSimulator::new(&net, 2).unwrap();
         assert!(par.run(&[]).is_err());
+    }
+
+    #[test]
+    fn probed_partition_publishes_loads_and_spans_through_the_registry() {
+        use mis_probe::{MetricValue, Probe};
+        let (net, _, _) = two_cone_net();
+        let probe = Probe::new();
+        let mut par = ParallelSimulator::new_probed(&net, 2, &probe).unwrap();
+        let report = probe.report();
+        // The accessors are views over the same registry cells.
+        let loads = par.worker_loads();
+        for (i, &load) in loads.iter().enumerate() {
+            assert_eq!(
+                report.get(&format!("par.w{i}.load")).unwrap().scalar(),
+                Some(load as u64)
+            );
+        }
+        assert_eq!(
+            report.get("par.assigned_signals").unwrap().scalar(),
+            Some(loads.iter().sum::<usize>() as u64)
+        );
+        // Busy/merge spans record once the engine runs.
+        let inputs = vec![
+            pulse(ps(100.0), ps(400.0)),
+            pulse(ps(250.0), ps(600.0)),
+            pulse(ps(90.0), ps(115.0)),
+        ];
+        par.run(&inputs).unwrap();
+        let report = probe.report();
+        match report.get("par.merge").unwrap() {
+            MetricValue::Timer { count, .. } => assert_eq!(*count, 1),
+            other => panic!("par.merge should be a timer, got {other:?}"),
+        }
+        match report.get("par.w0.busy").unwrap() {
+            MetricValue::Timer { count, .. } => assert_eq!(*count, 1),
+            other => panic!("par.w0.busy should be a timer, got {other:?}"),
+        }
     }
 
     #[test]

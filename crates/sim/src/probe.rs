@@ -1,0 +1,225 @@
+//! Engine-level instrumentation: the metric bundle the probed
+//! simulator entry points record into.
+//!
+//! [`SimCounters`] registers the `sim.*` metrics on a
+//! [`mis_probe::Probe`] and is owned by every [`crate::Simulator`] —
+//! engines built through the plain constructors carry a
+//! [`SimCounters::disabled`] bundle, whose record calls reduce to one
+//! predictable branch, so instrumentation is compiled in
+//! unconditionally without costing the unprobed hot paths anything
+//! measurable (the `crates/sim/tests/alloc.rs` suite additionally
+//! asserts the probed paths allocate nothing when warm).
+//!
+//! The per-gate-kind **edge census** (`sim.edges.*`) is collected by a
+//! single post-run O(n) walk over the sealed arena — never from inside
+//! the event loop — so it costs the hot loop literally zero and the
+//! disabled mode skips the walk entirely.
+
+use mis_digital::{ChannelCounters, SignalSource};
+use mis_probe::{Counter, Gauge, Histogram, Probe, SpanTimer};
+
+/// Edge-census classes, indexed by [`census_index`]: one per gate kind
+/// plus primary inputs and the two-input MIS channel gates.
+const CENSUS_NAMES: [&str; 9] = [
+    "sim.edges.input",
+    "sim.edges.buf",
+    "sim.edges.not",
+    "sim.edges.and",
+    "sim.edges.or",
+    "sim.edges.nand",
+    "sim.edges.nor",
+    "sim.edges.xor",
+    "sim.edges.mis",
+];
+
+/// The census class of a signal source (an index into the
+/// `sim.edges.*` counters).
+#[must_use]
+pub(crate) fn census_index(source: &SignalSource<'_>) -> usize {
+    use mis_digital::GateKind as K;
+    match source {
+        SignalSource::Input => 0,
+        SignalSource::Gate { kind, .. } => match kind {
+            K::Buf => 1,
+            K::Not => 2,
+            K::And => 3,
+            K::Or => 4,
+            K::Nand => 5,
+            K::Nor => 6,
+            K::Xor => 7,
+        },
+        SignalSource::TwoInputChannelGate { .. } => 8,
+    }
+}
+
+/// The engine metric bundle, registered under stable `sim.*` names.
+/// Counters are cumulative across runs of the engine that owns the
+/// bundle (and across engines sharing a [`Probe`], since same-name
+/// metrics share cells).
+#[derive(Debug, Clone)]
+pub struct SimCounters {
+    /// Ready-queue pops (one per evaluated signal per run).
+    events_popped: Counter,
+    /// Gates evaluated through the staged kernel (pops minus
+    /// duplicate-span shortcuts).
+    gates_evaluated: Counter,
+    /// Channel-less unary gates resolved as arena span duplicates.
+    duplicate_spans: Counter,
+    /// Completed `run_in` calls.
+    runs: Counter,
+    /// High-water mark of the ready queue, across all runs.
+    heap_high_water: Gauge,
+    /// Output edges per evaluated gate (census walk, enabled only).
+    edges_per_gate: Histogram,
+    /// Wall-clock span of each `run_in`.
+    run_time: SpanTimer,
+    /// Per-class output-edge totals, indexed by [`census_index`].
+    edge_census: [Counter; 9],
+    /// The channel-event sink threaded into the shared gate kernel.
+    channels: ChannelCounters,
+}
+
+impl SimCounters {
+    /// Registers (or re-attaches to) the `sim.*` and `chan.*` metrics
+    /// on `probe`.
+    #[must_use]
+    pub fn register(probe: &Probe) -> Self {
+        SimCounters {
+            events_popped: probe.counter("sim.events_popped"),
+            gates_evaluated: probe.counter("sim.gates_evaluated"),
+            duplicate_spans: probe.counter("sim.duplicate_spans"),
+            runs: probe.counter("sim.runs"),
+            heap_high_water: probe.gauge("sim.heap_high_water"),
+            edges_per_gate: probe.histogram("sim.edges_per_gate"),
+            run_time: probe.timer("sim.run_time"),
+            edge_census: std::array::from_fn(|i| probe.counter(CENSUS_NAMES[i])),
+            channels: ChannelCounters::register(probe),
+        }
+    }
+
+    /// A bundle on a fresh disabled registry — what the unprobed
+    /// constructors own. Record calls are branch-only no-ops.
+    #[must_use]
+    pub fn disabled() -> Self {
+        SimCounters::register(&Probe::disabled())
+    }
+
+    /// Whether records actually land anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.events_popped.is_enabled()
+    }
+
+    /// The channel-event sink for the shared gate kernel.
+    #[must_use]
+    pub(crate) fn channels(&self) -> &ChannelCounters {
+        &self.channels
+    }
+
+    /// Starts the run span (None when disabled).
+    pub(crate) fn start_run(&self) -> Option<std::time::Instant> {
+        self.run_time.start()
+    }
+
+    /// Flushes one run's locally-accumulated event-loop tallies.
+    pub(crate) fn finish_run(
+        &self,
+        started: Option<std::time::Instant>,
+        pops: u64,
+        duplicates: u64,
+        heap_high_water: u64,
+    ) {
+        self.run_time.stop(started);
+        self.runs.inc();
+        self.events_popped.add(pops);
+        self.duplicate_spans.add(duplicates);
+        self.gates_evaluated.add(pops - duplicates);
+        self.heap_high_water.record_max(heap_high_water);
+    }
+
+    /// One census observation: `edges` output edges on a signal of
+    /// census class `class`. Inputs (`class == 0`) count toward the
+    /// per-class totals but not the per-*gate* histogram.
+    pub(crate) fn census(&self, class: usize, edges: u64) {
+        self.edge_census[class].add(edges);
+        if class != 0 {
+            self.edges_per_gate.record(edges);
+        }
+    }
+
+    /// Cumulative ready-queue pops.
+    #[must_use]
+    pub fn events_popped(&self) -> u64 {
+        self.events_popped.value()
+    }
+
+    /// Cumulative staged-kernel gate evaluations.
+    #[must_use]
+    pub fn gates_evaluated(&self) -> u64 {
+        self.gates_evaluated.value()
+    }
+
+    /// Cumulative duplicate-span shortcuts.
+    #[must_use]
+    pub fn duplicate_spans(&self) -> u64 {
+        self.duplicate_spans.value()
+    }
+
+    /// Completed runs.
+    #[must_use]
+    pub fn runs(&self) -> u64 {
+        self.runs.value()
+    }
+
+    /// Ready-queue high-water mark across runs.
+    #[must_use]
+    pub fn heap_high_water(&self) -> u64 {
+        self.heap_high_water.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_run_splits_pops_into_gates_and_duplicates() {
+        let probe = Probe::new();
+        let c = SimCounters::register(&probe);
+        assert!(c.is_enabled());
+        c.finish_run(None, 10, 3, 7);
+        c.finish_run(None, 10, 3, 5);
+        assert_eq!(c.runs(), 2);
+        assert_eq!(c.events_popped(), 20);
+        assert_eq!(c.duplicate_spans(), 6);
+        assert_eq!(c.gates_evaluated(), 14);
+        assert_eq!(c.heap_high_water(), 7, "gauge keeps the maximum");
+    }
+
+    #[test]
+    fn disabled_bundle_records_nothing() {
+        let c = SimCounters::disabled();
+        assert!(!c.is_enabled());
+        c.finish_run(c.start_run(), 10, 3, 7);
+        c.census(2, 100);
+        assert_eq!(c.events_popped(), 0);
+        assert_eq!(c.heap_high_water(), 0);
+    }
+
+    #[test]
+    fn census_classes_cover_every_source_shape() {
+        // The census array and the index function must stay in sync:
+        // every name is distinct and the histogram skips inputs only.
+        let mut names: Vec<&str> = CENSUS_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CENSUS_NAMES.len());
+        let probe = Probe::new();
+        let c = SimCounters::register(&probe);
+        c.census(0, 5);
+        c.census(6, 7);
+        let report = probe.report();
+        assert_eq!(report.get("sim.edges.input").unwrap().scalar(), Some(5));
+        assert_eq!(report.get("sim.edges.nor").unwrap().scalar(), Some(7));
+    }
+}

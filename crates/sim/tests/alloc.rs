@@ -18,6 +18,7 @@ use std::path::PathBuf;
 
 use mis_charlib::CharLib;
 use mis_digital::InertialChannel;
+use mis_probe::Probe;
 use mis_sim::{BenchNetlist, CellLibrary, Simulator};
 use mis_testkit::alloc::{self, CountingAllocator};
 use mis_waveform::generate::{Assignment, TraceConfig};
@@ -89,6 +90,46 @@ fn warm_simulator_run_in_is_allocation_free() {
             "{file}: steady-state Simulator::run_in allocated {allocations} times"
         );
         assert_eq!(arena.total_edges(), warm_edges, "{file}: reproducible");
+    }
+}
+
+#[test]
+fn warm_probed_simulator_run_in_is_allocation_free_and_counts_events() {
+    // The zero-allocation contract must survive with a *live* probe
+    // attached: counters are preallocated at registration, the census
+    // walk reads the sealed arena without building anything, and the
+    // span timer records into fixed atomics. Same fixtures, same
+    // traffic as the unprobed gate above.
+    let cells = committed_cells();
+    for (file, seed) in [
+        ("c432.bench", 0x432),
+        ("c880.bench", 0x880),
+        ("c17.bench", 0xC17),
+    ] {
+        let lowered = fixture(file).lower(&cells).expect("lowering");
+        let inputs = traffic(lowered.inputs.len(), seed);
+        let probe = Probe::new();
+        let mut sim = Simulator::new_probed(&lowered.net, &probe).expect("engine construction");
+        let mut arena = TraceArena::new();
+        sim.run_in(&inputs, &mut arena).expect("warm-up run");
+        let warm_pops = sim.counters().events_popped();
+        assert!(warm_pops > 0, "{file}: probe saw the warm-up run");
+        let (allocations, ()) = alloc::count_in(|| {
+            for _ in 0..5 {
+                sim.run_in(&inputs, &mut arena).expect("steady-state run");
+            }
+        });
+        assert_eq!(
+            allocations, 0,
+            "{file}: steady-state probed run_in allocated {allocations} times"
+        );
+        // Identical inputs pop identical event counts every run.
+        assert_eq!(
+            sim.counters().events_popped(),
+            warm_pops * 6,
+            "{file}: per-run pop count is reproducible"
+        );
+        assert_eq!(sim.counters().runs(), 6, "{file}: six runs recorded");
     }
 }
 

@@ -1,0 +1,213 @@
+//! VCD export over a real netlist: a golden-file pin of the C17 dump
+//! and a round-trip identity check through a minimal re-parser.
+//!
+//! The golden file (`tests/golden/c17.vcd`) freezes the exact byte
+//! output of [`mis_probe::vcd::write_vcd`] for the committed C17
+//! fixture under deterministic inertial cells and a fixed hand-written
+//! stimulus — any change to the header layout, id-code assignment,
+//! quantization, or event ordering shows up as a diff against a file a
+//! human has inspected in a waveform viewer.
+//!
+//! The re-parser is deliberately tiny and test-only: it understands
+//! exactly the subset `write_vcd` emits (one scope, 1-bit wires,
+//! `0`/`1` value changes) and reconstructs each signal as an initial
+//! value plus a tick list, which must equal [`quantize_edges`] applied
+//! to the source trace — the edge-identity half of the round trip —
+//! while every parsed change must *toggle* the running value — the
+//! polarity-parity half.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use mis_digital::InertialChannel;
+use mis_probe::vcd::{quantize_edges, write_vcd, VcdSignal};
+use mis_sim::{BenchNetlist, CellLibrary, Simulator};
+use mis_waveform::units::ps;
+use mis_waveform::{DigitalTrace, TraceArena};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The committed C17 fixture, lowered with symmetric inertial cells
+/// (no table interpolation, so the dump is deterministic to the bit).
+fn c17_lowered() -> mis_sim::LoweredNetlist {
+    let text =
+        std::fs::read_to_string(workspace_root().join("data/bench/c17.bench")).expect("fixture");
+    let cells =
+        CellLibrary::inertial(InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel"));
+    BenchNetlist::parse(&text)
+        .expect("fixture parses")
+        .lower(&cells)
+        .expect("lowering")
+}
+
+/// Hand-written stimulus for the five C17 inputs: distinct phases and
+/// widths, including one pulse narrow enough to be inertially filtered
+/// downstream.
+fn c17_stimulus() -> Vec<DigitalTrace> {
+    let edges = |times: &[f64]| -> Vec<(f64, bool)> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| (t, k % 2 == 0))
+            .collect()
+    };
+    vec![
+        DigitalTrace::with_edges(false, edges(&[ps(100.0), ps(400.0)])).unwrap(),
+        DigitalTrace::with_edges(true, {
+            let mut e = edges(&[ps(150.0), ps(500.0)]);
+            for p in &mut e {
+                p.1 = !p.1;
+            }
+            e
+        })
+        .unwrap(),
+        DigitalTrace::with_edges(false, edges(&[ps(200.0), ps(230.0), ps(600.0)])).unwrap(),
+        DigitalTrace::constant(true),
+        DigitalTrace::with_edges(false, edges(&[ps(350.0)])).unwrap(),
+    ]
+}
+
+/// Per-signal expectation: name, initial value, quantized edge ticks.
+type ExpectedWire = (String, bool, Vec<u64>);
+
+/// Runs the fixture and dumps every named (non-synthetic) signal, in
+/// network index order, to a VCD byte vector.
+fn dump_c17() -> (Vec<u8>, Vec<ExpectedWire>) {
+    let lowered = c17_lowered();
+    let mut sim = Simulator::new(&lowered.net).expect("engine");
+    let mut arena = TraceArena::new();
+    sim.run_in(&c17_stimulus(), &mut arena).expect("run");
+
+    let net = &lowered.net;
+    let ids: Vec<_> = (0..net.signal_count())
+        .map(|s| net.signal_id(s).expect("s < signal_count"))
+        .filter(|&id| !net.signal_name(id).contains('#'))
+        .collect();
+    let signals: Vec<VcdSignal<'_>> = ids
+        .iter()
+        .map(|&id| VcdSignal {
+            name: net.signal_name(id),
+            trace: sim.trace(&arena, id),
+        })
+        .collect();
+    let mut out = Vec::new();
+    write_vcd(&mut out, &signals).expect("vcd export");
+    let expected = signals
+        .iter()
+        .map(|s| {
+            (
+                s.name.to_string(),
+                s.trace.initial_value(),
+                quantize_edges(s.trace.times()).expect("representable"),
+            )
+        })
+        .collect();
+    (out, expected)
+}
+
+#[test]
+fn c17_dump_matches_the_committed_golden_file() {
+    let (bytes, _) = dump_c17();
+    let got = String::from_utf8(bytes).expect("vcd is ascii");
+    let golden_path = workspace_root().join("crates/sim/tests/golden/c17.vcd");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect("committed golden file");
+    assert_eq!(
+        got,
+        want,
+        "C17 VCD drifted from {}; if the change is intentional, inspect \
+         the new dump in a viewer and re-commit it",
+        golden_path.display()
+    );
+}
+
+/// One parsed 1-bit signal: declared name, value at `$dumpvars`, and
+/// the (tick, value) change list.
+struct ParsedWire {
+    name: String,
+    initial: bool,
+    changes: Vec<(u64, bool)>,
+}
+
+/// Minimal re-parser for the exact dialect `write_vcd` emits.
+fn parse_vcd(text: &str) -> Vec<ParsedWire> {
+    let mut by_code: HashMap<String, usize> = HashMap::new();
+    let mut wires: Vec<ParsedWire> = Vec::new();
+    let mut lines = text.lines();
+    // Declarations: only `$var wire 1 <code> <name> $end` matters.
+    for line in lines.by_ref() {
+        if line == "$enddefinitions $end" {
+            break;
+        }
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        if let ["$var", "wire", "1", code, name, "$end"] = tok[..] {
+            by_code.insert(code.to_string(), wires.len());
+            wires.push(ParsedWire {
+                name: name.to_string(),
+                initial: false,
+                changes: Vec::new(),
+            });
+        }
+    }
+    assert_eq!(lines.next(), Some("$dumpvars"), "dumpvars section");
+    // A value-change token is `0<code>` or `1<code>`.
+    let split_change = |line: &str| -> (bool, String) {
+        let value = match line.as_bytes()[0] {
+            b'0' => false,
+            b'1' => true,
+            other => panic!("unexpected value char {other:?} in {line:?}"),
+        };
+        (value, line[1..].to_string())
+    };
+    for line in lines.by_ref() {
+        if line == "$end" {
+            break;
+        }
+        let (value, code) = split_change(line);
+        wires[by_code[&code]].initial = value;
+    }
+    let mut tick = None;
+    for line in lines {
+        if let Some(t) = line.strip_prefix('#') {
+            tick = Some(t.parse::<u64>().expect("tick"));
+        } else {
+            let (value, code) = split_change(line);
+            wires[by_code[&code]]
+                .changes
+                .push((tick.expect("change before first #tick"), value));
+        }
+    }
+    wires
+}
+
+#[test]
+fn c17_dump_round_trips_through_the_reparser() {
+    let (bytes, expected) = dump_c17();
+    let parsed = parse_vcd(&String::from_utf8(bytes).expect("ascii"));
+    assert_eq!(parsed.len(), expected.len());
+    let mut nonempty = 0;
+    for (wire, (name, initial, ticks)) in parsed.iter().zip(&expected) {
+        assert_eq!(&wire.name, name);
+        assert_eq!(wire.initial, *initial, "{name}: initial value");
+        // Edge identity: the parsed change times are exactly the
+        // quantized source edges, in order.
+        let parsed_ticks: Vec<u64> = wire.changes.iter().map(|&(t, _)| t).collect();
+        assert_eq!(&parsed_ticks, ticks, "{name}: edge times");
+        // Polarity parity: every change toggles the running value.
+        let mut value = wire.initial;
+        for &(t, v) in &wire.changes {
+            assert_eq!(v, !value, "{name}: change at #{t} does not toggle");
+            value = v;
+        }
+        nonempty += usize::from(!wire.changes.is_empty());
+    }
+    assert!(
+        nonempty >= 8,
+        "stimulus should exercise most of C17, only {nonempty} wires toggled"
+    );
+}

@@ -12,7 +12,7 @@
 //! * [`prop`] — a proptest-style property-test harness: composable
 //!   [`prop::Strategy`] input generators, configurable case counts,
 //!   failing-input reporting and basic greedy shrinking.
-//! * [`bench`] — a criterion-free micro-bench harness: warmup,
+//! * [`mod@bench`] — a criterion-free micro-bench harness: warmup,
 //!   auto-calibrated timed iterations, median/p95 statistics and JSON
 //!   output for longitudinal `BENCH_*.json` tracking.
 //!

@@ -255,7 +255,7 @@ impl<T: Debug + Clone> Strategy for OneOf<T> {
     // `Strategy::shrink` in-domain contract.
 }
 
-/// Length specification for [`vec`]: an exact `usize` or a half-open
+/// Length specification for [`fn@vec`]: an exact `usize` or a half-open
 /// `Range<usize>`.
 #[derive(Debug, Clone, Copy)]
 pub struct LenRange {
@@ -279,7 +279,7 @@ impl From<Range<usize>> for LenRange {
     }
 }
 
-/// See [`vec`].
+/// See [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     elem: S,

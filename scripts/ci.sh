@@ -18,6 +18,9 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
+echo "== cargo doc --offline --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
+
 # Optional: CI-scale benchmark smoke + regression gate (quick-mode runs
 # of the harness = false bench targets, diffed against the committed
 # BENCH_*.json baselines; >25 % median regression on any existing id
@@ -44,6 +47,27 @@ if [[ "${CI_BENCH:-0}" != "0" ]]; then
     echo "== netlist lint gate (lint_bench --deny-warnings data/bench/*.bench)"
     cargo run --release -q -p mis-bench --bin lint_bench --offline -- \
         --deny-warnings data/bench/*.bench
+    # The --json line is self-validated by the binary (mis_probe::json);
+    # a malformed line exits non-zero and fails this gate.
+    cargo run --release -q -p mis-bench --bin lint_bench --offline -- \
+        --json data/bench/*.bench > /dev/null
+    # Engine-count pinning gate: sim_profile re-simulates each committed
+    # fixture under the committed cell library and deterministic traffic
+    # (seed base 0x5eed) and compares probe counters against the frozen
+    # values below — any drift in event scheduling, duplicate-span
+    # shortcuts, table-lookup census, or pulse filtering fails CI. The
+    # values were pinned with EXPERIMENTS.md PR 7; re-pin them only with
+    # an intentional engine change, via `sim_profile --json <fixture>`.
+    echo "== engine-count pinning gate (sim_profile --expect, c17/c432/c880)"
+    cargo run --release -q -p mis-bench --bin sim_profile --offline -- --json \
+        --expect sim.events_popped=6,sim.gates_evaluated=6,sim.heap_high_water=2,sim.edges.input=100,sim.edges.mis=144,chan.pending_cancelled=6,chan.table_lookups=83,chan.pulse_filtered=0 \
+        data/bench/c17.bench > /dev/null
+    cargo run --release -q -p mis-bench --bin sim_profile --offline -- --json \
+        --expect sim.events_popped=184,sim.gates_evaluated=184,sim.heap_high_water=36,sim.edges.input=720,sim.edges.mis=830,sim.edges.not=740,chan.pending_cancelled=44,chan.table_lookups=476,chan.pulse_filtered=118 \
+        data/bench/c432.bench > /dev/null
+    cargo run --release -q -p mis-bench --bin sim_profile --offline -- --json \
+        --expect sim.events_popped=510,sim.gates_evaluated=510,sim.heap_high_water=95,sim.edges.input=1200,sim.edges.mis=1238,sim.edges.not=1750,chan.pending_cancelled=65,chan.table_lookups=741,chan.pulse_filtered=1424 \
+        data/bench/c880.bench > /dev/null
     echo "== bench regression gate (scripts/bench_diff.sh)"
     scripts/bench_diff.sh
 fi

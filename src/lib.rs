@@ -67,5 +67,6 @@ pub use mis_core as core;
 pub use mis_digital as digital;
 pub use mis_linalg as linalg;
 pub use mis_num as num;
+pub use mis_probe as probe;
 pub use mis_sim as sim;
 pub use mis_waveform as waveform;
