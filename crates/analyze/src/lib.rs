@@ -55,4 +55,4 @@ pub mod sta;
 
 pub use diag::{DiagCode, Diagnostic, LintReport, Severity};
 pub use lint::{lint, LintConfig};
-pub use sta::{OutputTiming, PathStep, TimingAnalysis, TimingReport, Window};
+pub use sta::{OutputTiming, PathStep, TimingAnalysis, TimingReport, Window, WindowEdit};

@@ -145,6 +145,34 @@ impl fmt::Display for Window {
     }
 }
 
+/// A per-signal override applied during
+/// [`TimingAnalysis::arrival_windows_edited`] propagation — the static
+/// counterpart of a `mis-sim` trace overlay (see that method's docs for
+/// the soundness correspondence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowEdit {
+    /// Replace the signal's propagated window outright. A stuck-at
+    /// fault is `Replace(Window::EMPTY)`: the faulted trace is
+    /// constant, so no edge can occur.
+    Replace(Window),
+    /// Hull the signal's propagated window with an extra interval. A
+    /// transient glitch at `t` of width `w` is
+    /// `Widen(Window::new(t, t + w))`: every faulted edge is either an
+    /// original edge or one of the two pulse edges.
+    Widen(Window),
+}
+
+impl WindowEdit {
+    /// The edited window for a signal whose propagated window is `w`.
+    #[must_use]
+    pub fn apply(self, w: Window) -> Window {
+        match self {
+            WindowEdit::Replace(r) => r,
+            WindowEdit::Widen(x) => w.hull(x),
+        }
+    }
+}
+
 /// The static view of one lowered [`Network`]: per-signal fan-in lists,
 /// per-gate delay bounds, and topological levels — everything needed to
 /// propagate arrival windows without touching the dynamic engines.
@@ -264,6 +292,36 @@ impl TimingAnalysis {
     /// [`TimingAnalysis::input_count`].
     #[must_use]
     pub fn arrival_windows(&self, input_windows: &[Window]) -> Vec<Window> {
+        self.arrival_windows_edited(input_windows, &[])
+    }
+
+    /// [`TimingAnalysis::arrival_windows`] with per-signal
+    /// [`WindowEdit`]s applied *during* propagation: a signal's edit
+    /// replaces or widens its window before any downstream gate hulls
+    /// it, so the edit's effect flows through the whole fan-out cone.
+    ///
+    /// This is the static companion of `mis-sim`'s trace overlays — an
+    /// overlay rewriting signal `s`'s trace stays sound against the
+    /// windows computed here as long as its edit covers the rewrite:
+    /// [`WindowEdit::Replace`]`(`[`Window::EMPTY`]`)` for a stuck-at
+    /// site (the rewritten trace has no edges), [`WindowEdit::Widen`]
+    /// over the pulse interval for a glitch (every rewritten edge is an
+    /// original edge or one of the two pulse edges). The inductive
+    /// soundness argument in the module docs goes through unchanged
+    /// with "window of `s`" read as "edited window of `s`".
+    ///
+    /// Edits are matched by signal; a signal listed twice gets the
+    /// edits applied in list order.
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingAnalysis::arrival_windows`].
+    #[must_use]
+    pub fn arrival_windows_edited(
+        &self,
+        input_windows: &[Window],
+        edits: &[(SignalId, WindowEdit)],
+    ) -> Vec<Window> {
         assert_eq!(
             input_windows.len(),
             self.input_positions.len(),
@@ -275,21 +333,26 @@ impl TimingAnalysis {
             if self.is_input[s] {
                 w[s] = input_windows[next_input];
                 next_input += 1;
-                continue;
-            }
-            let hull = self.fan_ins[s]
-                .iter()
-                .map(|&f| w[f])
-                .filter(|fw| !fw.is_empty())
-                .fold(Window::EMPTY, Window::hull);
-            w[s] = if hull.is_empty() {
-                Window::EMPTY
             } else {
-                match self.bounds[s] {
-                    Some(b) => hull.shifted(b),
-                    None => Window::UNBOUNDED,
+                let hull = self.fan_ins[s]
+                    .iter()
+                    .map(|&f| w[f])
+                    .filter(|fw| !fw.is_empty())
+                    .fold(Window::EMPTY, Window::hull);
+                w[s] = if hull.is_empty() {
+                    Window::EMPTY
+                } else {
+                    match self.bounds[s] {
+                        Some(b) => hull.shifted(b),
+                        None => Window::UNBOUNDED,
+                    }
+                };
+            }
+            for (id, edit) in edits {
+                if id.index() == s {
+                    w[s] = edit.apply(w[s]);
                 }
-            };
+            }
         }
         w
     }
@@ -482,6 +545,47 @@ mod tests {
         // Both inputs quiet: everything quiet.
         let w = ta.arrival_windows(&[Window::EMPTY, Window::EMPTY]);
         assert!(w.iter().all(Window::is_empty));
+    }
+
+    #[test]
+    fn window_edits_flow_through_the_fanout_cone() {
+        // a -> n1 (ideal NOR with b) -> y (NOT, 7 ps pure delay).
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let n1 = net.add_gate("n1", GateKind::Nor, &[a, b], None).unwrap();
+        let y = net
+            .add_gate(
+                "y",
+                GateKind::Not,
+                &[n1],
+                Some(Box::new(PureDelayChannel::new(ps(7.0)).unwrap())),
+            )
+            .unwrap();
+        let ta = TimingAnalysis::new(&net);
+        let inputs = [Window::new(ps(100.0), ps(200.0)), Window::EMPTY];
+
+        // Stuck-at on n1: its window empties, and so does everything
+        // downstream — but `a` itself is untouched.
+        let w = ta.arrival_windows_edited(&inputs, &[(n1, WindowEdit::Replace(Window::EMPTY))]);
+        assert_eq!(w[a.index()], Window::new(ps(100.0), ps(200.0)));
+        assert!(w[n1.index()].is_empty());
+        assert!(w[y.index()].is_empty());
+
+        // Glitch on the quiet input b: the pulse interval appears on b,
+        // widens n1's hull, and shifts through y's channel.
+        let glitch = Window::new(ps(300.0), ps(310.0));
+        let w = ta.arrival_windows_edited(&inputs, &[(b, WindowEdit::Widen(glitch))]);
+        assert_eq!(w[b.index()], glitch, "EMPTY hulled with the pulse");
+        assert_eq!(w[n1.index()], Window::new(ps(100.0), ps(310.0)));
+        let wy = w[y.index()];
+        assert!((wy.lo - ps(107.0)).abs() < 1e-24 && (wy.hi - ps(317.0)).abs() < 1e-24);
+
+        // No edits reproduces arrival_windows exactly.
+        assert_eq!(
+            ta.arrival_windows_edited(&inputs, &[]),
+            ta.arrival_windows(&inputs)
+        );
     }
 
     #[test]

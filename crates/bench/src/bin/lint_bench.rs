@@ -27,33 +27,13 @@
 //! errors. The timing report is informational and never fails the run.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mis_analyze::{lint, LintConfig, LintReport, TimingAnalysis, TimingReport};
 use mis_bench::emit;
-use mis_charlib::CharLib;
-use mis_digital::InertialChannel;
+use mis_bench::netlist::committed_cells;
 use mis_probe::json::{is_wellformed, json_f64, json_string};
-use mis_sim::{BenchNetlist, CellLibrary};
-use mis_waveform::units::ps;
-
-fn workspace_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
-}
-
-/// The characterized cell library the timing report uses: the committed
-/// paper-Table-1 NOR tables (NAND through the duality), inertial
-/// fallback for gate kinds outside the characterized set. Committed
-/// tables keep the numbers deterministic and the startup instant.
-fn report_cells() -> Result<CellLibrary, String> {
-    let path = workspace_root().join("data/charlib/nor_paper.mislib");
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| format!("read {}: {e} (run make_data first)", path.display()))?;
-    let lib = CharLib::from_text(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
-    let fallback = InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("positive delays");
-    CellLibrary::hybrid(&lib, Some(fallback)).map_err(|e| format!("cell library: {e}"))
-}
+use mis_sim::BenchNetlist;
 
 /// Renders one file's lint findings as a JSON object body (no braces).
 fn lint_json(report: &LintReport) -> String {
@@ -150,7 +130,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let cells = match report_cells() {
+    let cells = match committed_cells() {
         Ok(c) => Some(c),
         Err(e) => {
             // Timing is informational; lint alone still works without

@@ -37,34 +37,37 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::process::ExitCode;
 
+use mis_bench::netlist::workspace_root;
 use mis_charlib::{CharConfig, CharLib};
 use mis_core::nand::NandParams;
 use mis_core::NorParams;
 use mis_sim::{BenchFunc, BenchGate, BenchNetlist};
 
-fn workspace_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
-}
-
-fn write_file(path: &Path, contents: &str) {
-    fs::create_dir_all(path.parent().expect("data subdirectory")).expect("create data dir");
-    fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+fn write_file(path: &Path, contents: &str) -> Result<(), String> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| format!("{}: artifact path has no parent directory", path.display()))?;
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    fs::write(path, contents).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("wrote {}", path.display());
+    Ok(())
 }
 
 /// Builds every committed `data/` artifact in memory, as
 /// (workspace-relative path, exact file contents) pairs.
-fn build_artifacts() -> Vec<(&'static str, String)> {
+fn build_artifacts() -> Result<Vec<(&'static str, String)>, String> {
     let cfg = CharConfig::default();
 
     println!("characterizing NOR (paper Table 1, default budget)...");
-    let nor = CharLib::nor(&NorParams::paper_table1(), &cfg).expect("NOR characterization");
+    let nor = CharLib::nor(&NorParams::paper_table1(), &cfg)
+        .map_err(|e| format!("NOR characterization: {e}"))?;
 
     println!("characterizing dual NAND...");
     let nand = CharLib::nand(&NandParams::from_dual(NorParams::paper_table1()), &cfg)
-        .expect("NAND characterization");
+        .map_err(|e| format!("NAND characterization: {e}"))?;
 
     let c432 = c432_reconstruction();
     let mut c432_text = String::new();
@@ -94,23 +97,32 @@ fn build_artifacts() -> Vec<(&'static str, String)> {
     );
     c880_text.push_str(&c880.to_text());
 
-    vec![
+    Ok(vec![
         ("data/charlib/nor_paper.mislib", nor.to_text()),
         ("data/charlib/nand_dual.mislib", nand.to_text()),
         ("data/bench/c432.bench", c432_text),
         ("data/bench/c880.bench", c880_text),
-    ]
+    ])
 }
 
-fn main() {
+fn main() -> ExitCode {
     let check = std::env::args().skip(1).any(|a| a == "--check");
     let root = workspace_root();
-    let artifacts = build_artifacts();
+    let artifacts = match build_artifacts() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("make_data: {e}");
+            return ExitCode::from(1);
+        }
+    };
     if !check {
         for (rel, contents) in &artifacts {
-            write_file(&root.join(rel), contents);
+            if let Err(e) = write_file(&root.join(rel), contents) {
+                eprintln!("make_data: {e}");
+                return ExitCode::from(1);
+            }
         }
-        return;
+        return ExitCode::SUCCESS;
     }
     // --check: regenerate in memory only and fail on any drift against
     // the committed bytes, so the committed artifacts provably remain a
@@ -139,9 +151,10 @@ fn main() {
             "make_data --check: FAILED ({drift} artifact(s) drifted; \
              refresh with `cargo run --release -p mis-bench --bin make_data`)"
         );
-        std::process::exit(1);
+        return ExitCode::from(1);
     }
     println!("make_data --check: OK ({} artifacts)", artifacts.len());
+    ExitCode::SUCCESS
 }
 
 /// Builds the C432-scale interrupt controller: enable bus `E`, request

@@ -26,48 +26,15 @@
 //! Exit code 1 on simulation, validation, or expectation failure; 2 on
 //! usage errors.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mis_bench::emit;
-use mis_charlib::CharLib;
-use mis_digital::InertialChannel;
+use mis_bench::netlist::{committed_cells, traffic};
 use mis_probe::json::{is_wellformed, json_string};
 use mis_probe::vcd::{write_vcd, VcdSignal};
 use mis_probe::Probe;
-use mis_sim::{BenchNetlist, CellLibrary, Simulator};
-use mis_waveform::generate::{Assignment, TraceConfig};
-use mis_waveform::units::ps;
-use mis_waveform::{DigitalTrace, TraceArena};
-
-fn workspace_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
-}
-
-/// The same cell realization as `lint_bench` and the benches: committed
-/// paper-Table-1 NOR tables (NAND through the duality) with an
-/// inertial fallback — deterministic, so the profiled counts are too.
-fn profile_cells() -> Result<CellLibrary, String> {
-    let path = workspace_root().join("data/charlib/nor_paper.mislib");
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| format!("read {}: {e} (run make_data first)", path.display()))?;
-    let lib = CharLib::from_text(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
-    let fallback = InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("positive delays");
-    CellLibrary::hybrid(&lib, Some(fallback)).map_err(|e| format!("cell library: {e}"))
-}
-
-/// Deterministic input traffic: local-assignment pairs, 40 edges per
-/// trace, seeded per input off the fixed `0x5eed` base.
-fn traffic(n: usize) -> Result<Vec<DigitalTrace>, String> {
-    (0..n)
-        .map(|i| {
-            let pair = TraceConfig::new(ps(400.0), ps(150.0), Assignment::Local, 40)
-                .generate(0x5eed + i as u64)
-                .map_err(|e| format!("traffic generation: {e}"))?;
-            Ok(if i % 2 == 0 { pair.a } else { pair.b })
-        })
-        .collect()
-}
+use mis_sim::{BenchNetlist, Simulator};
+use mis_waveform::TraceArena;
 
 /// Parsed `--expect` pairs: metric name and pinned scalar.
 fn parse_expect(spec: &str) -> Result<Vec<(String, u64)>, String> {
@@ -126,7 +93,7 @@ fn run(args: &Args) -> Result<(), String> {
     let text =
         std::fs::read_to_string(&args.file).map_err(|e| format!("read {}: {e}", args.file))?;
     let nl = BenchNetlist::parse(&text).map_err(|e| format!("parse {}: {e}", args.file))?;
-    let cells = profile_cells()?;
+    let cells = committed_cells()?;
     let lowered = nl.lower(&cells).map_err(|e| format!("lowering: {e}"))?;
     let inputs = traffic(lowered.inputs.len())?;
 

@@ -8,6 +8,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod netlist;
+
 use std::fmt::Write as _;
 
 /// Command-line options shared by the regeneration binaries.

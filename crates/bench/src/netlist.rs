@@ -1,0 +1,89 @@
+//! Shared plumbing for the netlist CLIs (`sim_profile`, `lint_bench`,
+//! `fault_sim`): the committed characterized cell realization and the
+//! deterministic input traffic every binary drives fixtures with. One
+//! definition keeps the binaries' numbers comparable — a profiled event
+//! count, a timing window and a fault-coverage figure for the same
+//! `.bench` file all describe the same lowered circuit under the same
+//! stimulus.
+
+use std::path::PathBuf;
+
+use mis_charlib::CharLib;
+use mis_digital::InertialChannel;
+use mis_sim::CellLibrary;
+use mis_waveform::generate::{Assignment, TraceConfig};
+use mis_waveform::units::ps;
+use mis_waveform::DigitalTrace;
+
+/// The workspace root, resolved from this crate's manifest directory —
+/// where the committed `data/` artifacts live.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The committed cell realization shared by every netlist CLI and the
+/// benches: the paper-Table-1 NOR tables (NAND through the duality)
+/// from `data/charlib/nor_paper.mislib`, with a symmetric inertial
+/// fallback for gate kinds outside the characterized set. Committed
+/// tables keep the numbers deterministic and the startup instant.
+///
+/// # Errors
+///
+/// A message naming the failing step: missing/unreadable tables (with a
+/// hint to run `make_data`), a parse failure, or a library-construction
+/// failure.
+pub fn committed_cells() -> Result<CellLibrary, String> {
+    let path = workspace_root().join("data/charlib/nor_paper.mislib");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("read {}: {e} (run make_data first)", path.display()))?;
+    let lib = CharLib::from_text(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let fallback = InertialChannel::symmetric(ps(50.0), ps(38.0))
+        .map_err(|e| format!("fallback channel: {e}"))?;
+    CellLibrary::hybrid(&lib, Some(fallback)).map_err(|e| format!("cell library: {e}"))
+}
+
+/// Deterministic input traffic for `n` netlist inputs:
+/// local-assignment pairs, 40 edges per trace, seeded per input off the
+/// fixed `0x5eed` base — the stimulus behind CI's pinned event counts.
+///
+/// # Errors
+///
+/// A message describing the trace-generation failure (degenerate
+/// configuration; cannot happen for the fixed parameters here).
+pub fn traffic(n: usize) -> Result<Vec<DigitalTrace>, String> {
+    (0..n)
+        .map(|i| {
+            let pair = TraceConfig::new(ps(400.0), ps(150.0), Assignment::Local, 40)
+                .generate(0x5eed + i as u64)
+                .map_err(|e| format!("traffic generation: {e}"))?;
+            Ok(if i % 2 == 0 { pair.a } else { pair.b })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_is_deterministic_and_sized() {
+        let a = traffic(5).unwrap();
+        let b = traffic(5).unwrap();
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.edges(), y.edges());
+        }
+        assert!(a.iter().all(|t| !t.edges().is_empty()));
+    }
+
+    #[test]
+    fn committed_cells_load_from_the_workspace() {
+        // The tables are committed; a failure here means the checkout
+        // is incomplete, which the error message should say.
+        match committed_cells() {
+            Ok(_) => {}
+            Err(e) => assert!(e.contains("make_data"), "unhelpful error: {e}"),
+        }
+    }
+}

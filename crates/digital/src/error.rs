@@ -1,6 +1,28 @@
 use std::error::Error;
 use std::fmt;
 
+/// The budgeted resource that ran out in a
+/// [`SimError::BudgetExceeded`] — which limit of a `RunBudget` tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// The evaluation-event limit (`max_events`).
+    Events,
+    /// The emitted-edge limit (`max_edges`).
+    Edges,
+    /// The wall-clock deadline.
+    Deadline,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetResource::Events => "events",
+            BudgetResource::Edges => "edges",
+            BudgetResource::Deadline => "deadline",
+        })
+    }
+}
+
 /// Errors produced by the digital timing simulator.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -25,6 +47,17 @@ pub enum SimError {
         /// The engine's maximum representable count.
         max: usize,
     },
+    /// A run exhausted its `RunBudget` and stopped gracefully instead
+    /// of doing unbounded work. The variant is allocation-free by
+    /// design: the budgeted engines return it from hot loops that are
+    /// themselves under a zero-allocation gate.
+    BudgetExceeded {
+        /// Which limit tripped.
+        resource: BudgetResource,
+        /// The configured limit: a count for events/edges, the
+        /// deadline in nanoseconds for wall-clock trips.
+        limit: u64,
+    },
     /// A trace violated an invariant while being processed.
     Trace(mis_waveform::WaveformError),
     /// The underlying hybrid model failed.
@@ -43,6 +76,12 @@ impl fmt::Display for SimError {
                 f,
                 "network too large for the engine's index width: {count} > {max}"
             ),
+            SimError::BudgetExceeded { resource, limit } => match resource {
+                BudgetResource::Deadline => {
+                    write!(f, "run budget exceeded: deadline of {limit} ns passed")
+                }
+                r => write!(f, "run budget exceeded: more than {limit} {r}"),
+            },
             SimError::Trace(e) => write!(f, "trace failure: {e}"),
             SimError::Model(e) => write!(f, "hybrid model failure: {e}"),
             SimError::Numeric(e) => write!(f, "numeric failure: {e}"),
@@ -97,6 +136,26 @@ mod tests {
             max: u32::MAX as usize,
         };
         assert!(e.to_string().contains("too large"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn budget_exceeded_display_names_the_resource() {
+        let e = SimError::BudgetExceeded {
+            resource: BudgetResource::Events,
+            limit: 12,
+        };
+        assert!(e.to_string().contains("12 events"), "{e}");
+        let e = SimError::BudgetExceeded {
+            resource: BudgetResource::Edges,
+            limit: 0,
+        };
+        assert!(e.to_string().contains("0 edges"), "{e}");
+        let e = SimError::BudgetExceeded {
+            resource: BudgetResource::Deadline,
+            limit: 5_000,
+        };
+        assert!(e.to_string().contains("5000 ns"), "{e}");
         assert!(e.source().is_none());
     }
 }

@@ -86,6 +86,6 @@ pub use channels::nand::HybridNandChannel;
 pub use channels::pure::PureDelayChannel;
 pub use channels::sumexp::SumExpChannel;
 pub use channels::{DelayBounds, TraceTransform, TwoInputTransform};
-pub use error::SimError;
+pub use error::{BudgetResource, SimError};
 pub use network::{GateKind, Network, SignalId, SignalSource};
 pub use probe::ChannelCounters;

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+use mis_digital::SimError;
+
+/// Errors produced by fault construction and campaign execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// Invalid fault parameters (non-finite glitch time, non-positive
+    /// width) or an invalid campaign configuration.
+    Invalid {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An engine run failed for a reason other than a tripped budget
+    /// (budget trips are an expected per-fault outcome, recorded in the
+    /// campaign report rather than raised).
+    Sim(SimError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Invalid { reason } => write!(f, "invalid fault: {reason}"),
+            FaultError::Sim(e) => write!(f, "fault simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for FaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaultError::Sim(e) => Some(e),
+            FaultError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for FaultError {
+    fn from(e: SimError) -> Self {
+        FaultError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FaultError::Invalid {
+            reason: "width must be positive".into(),
+        };
+        assert!(e.to_string().contains("width"));
+        assert!(e.source().is_none());
+        let e = FaultError::from(SimError::Network {
+            reason: "boom".into(),
+        });
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -61,7 +61,9 @@ use mis_digital::{Network, SignalId, SignalSource, SimError};
 use mis_probe::Probe;
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
+use crate::budget::{BudgetMeter, RunBudget};
 use crate::kernel::{self, FanoutCsr};
+use crate::overlay::{rewrite_span, TraceOverlay};
 use crate::probe::{census_index, SimCounters};
 
 /// A gate whose fan-ins are all sealed, keyed for the ready queue.
@@ -190,6 +192,45 @@ impl<'n> Simulator<'n> {
         inputs: &[DigitalTrace],
         arena: &mut TraceArena,
     ) -> Result<(), SimError> {
+        self.run_controlled_in(inputs, arena, &RunBudget::UNLIMITED, None)
+    }
+
+    /// [`Simulator::run_in`] under a [`RunBudget`]: the run stops with
+    /// [`SimError::BudgetExceeded`] instead of doing unbounded work —
+    /// see the budget module docs for the accounting semantics. A
+    /// tripped run leaves the arena reusable (the next run resets it).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BudgetExceeded`] — a budget limit tripped.
+    /// * As [`Simulator::run_in`].
+    pub fn run_budgeted_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+        budget: &RunBudget,
+    ) -> Result<(), SimError> {
+        self.run_controlled_in(inputs, arena, budget, None)
+    }
+
+    /// The fully general run: a [`RunBudget`] plus an optional
+    /// [`TraceOverlay`] rewriting sealed traces before downstream gates
+    /// read them — the entry point `mis-fault` injects faults through.
+    /// With [`RunBudget::UNLIMITED`] and no overlay this *is*
+    /// [`Simulator::run_in`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BudgetExceeded`] — a budget limit tripped.
+    /// * Propagates overlay rewrite failures.
+    /// * As [`Simulator::run_in`].
+    pub fn run_controlled_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+        budget: &RunBudget,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(), SimError> {
         if inputs.len() != self.net.input_count() {
             return Err(SimError::Network {
                 reason: format!(
@@ -200,6 +241,7 @@ impl<'n> Simulator<'n> {
             });
         }
         let started = self.counters.start_run();
+        let mut meter = BudgetMeter::start(budget);
         arena.reset();
         self.heap.clear();
         self.deps_left.copy_from_slice(&self.csr.indeg);
@@ -207,7 +249,14 @@ impl<'n> Simulator<'n> {
             // One span is sealed per signal and construction verified the
             // signal count fits the index width, so the narrowing is
             // lossless.
-            self.span_of[i] = arena.push_trace(t) as u32;
+            let mut span = arena.push_trace(t);
+            if let Some(ov) = overlay {
+                let id = self.net.signal_id(i).expect("i < signal_count");
+                if ov.rewrites(id) {
+                    span = rewrite_span(arena, span, id, ov)?;
+                }
+            }
+            self.span_of[i] = span as u32;
         }
         let mut sealed = inputs.len();
         for i in 0..inputs.len() {
@@ -223,8 +272,10 @@ impl<'n> Simulator<'n> {
             // always observed at a pop.
             heap_hw = heap_hw.max(self.heap.len() + 1);
             pops += 1;
+            meter.on_event()?;
             let s = signal as usize;
-            dups += u64::from(self.eval(s, arena)?);
+            dups += u64::from(self.eval(s, arena, overlay)?);
+            meter.on_edges(arena.trace(self.span_of[s] as usize).len() as u64)?;
             sealed += 1;
             self.notify_fanout(s, arena);
         }
@@ -333,20 +384,31 @@ impl<'n> Simulator<'n> {
     }
 
     /// Evaluates one gate through the shared per-gate kernel
-    /// ([`crate::kernel::eval_signal_into`]) and seals its output span.
+    /// ([`crate::kernel::eval_signal_into`]) and seals its output span,
+    /// applying any overlay rewrite before the span is published.
     /// Returns whether the gate resolved as a duplicate-span shortcut
     /// (the run loop's duplicate tally).
-    fn eval(&mut self, s: usize, arena: &mut TraceArena) -> Result<bool, SimError> {
+    fn eval(
+        &mut self,
+        s: usize,
+        arena: &mut TraceArena,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<bool, SimError> {
         let net = self.net;
         let id = net.signal_id(s).expect("s < signal_count");
         let source = net.source(id);
-        let (span, dup) = match kernel::duplicate_shortcut(&source) {
+        let (mut span, dup) = match kernel::duplicate_shortcut(&source) {
             Some((src, invert)) => (
                 arena.push_duplicate(self.span_of[src.index()] as usize, invert),
                 true,
             ),
             None => (self.eval_staged(source, arena)?, false),
         };
+        if let Some(ov) = overlay {
+            if ov.rewrites(id) {
+                span = rewrite_span(arena, span, id, ov)?;
+            }
+        }
         // Lossless: spans per run = signal count, checked at construction.
         self.span_of[s] = span as u32;
         Ok(dup)

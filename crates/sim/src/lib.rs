@@ -27,6 +27,12 @@
 //!   deterministically by signal index — bit-identical to the serial
 //!   engines at every worker count.
 //!
+//! Two cross-cutting controls thread through both engines:
+//! [`mod@budget`] bounds a run (events, edges, deadline) with a graceful
+//! [`mis_digital::SimError::BudgetExceeded`] instead of unbounded work,
+//! and [`mod@overlay`] rewrites sealed traces mid-run — the injection
+//! point the `mis-fault` campaigns build on.
+//!
 //! # Examples
 //!
 //! ```
@@ -54,17 +60,21 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod budget;
 pub mod cells;
 pub mod engine;
 mod error;
 mod kernel;
+pub mod overlay;
 pub mod parallel;
 pub mod probe;
 
 pub use bench::{BenchFunc, BenchGate, BenchNetlist, LoweredNetlist, LoweredStats};
+pub use budget::RunBudget;
 pub use cells::CellLibrary;
 pub use engine::Simulator;
 pub use error::BenchError;
 pub use kernel::ENGINE_INDEX_MAX;
+pub use overlay::TraceOverlay;
 pub use parallel::ParallelSimulator;
 pub use probe::SimCounters;

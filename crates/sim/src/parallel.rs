@@ -60,7 +60,9 @@ use mis_digital::{ChannelCounters, Network, SignalId, SignalSource, SimError};
 use mis_probe::{Gauge, Probe, SpanTimer};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
+use crate::budget::{BudgetMeter, RunBudget};
 use crate::kernel::{self, FanoutCsr};
+use crate::overlay::{rewrite_span, TraceOverlay};
 
 /// A fixed-size bit set over signal indices — the working representation
 /// of fan-in cones and worker unions during partitioning.
@@ -179,28 +181,51 @@ impl Worker {
     /// Evaluates this worker's signal set bottom-up into its own arena.
     /// Cone-closure guarantees every fan-in of an assigned signal is
     /// assigned too, so all reads hit this worker's already-sealed spans.
-    fn evaluate(&mut self, net: &Network, inputs: &[DigitalTrace]) -> Result<(), SimError> {
+    ///
+    /// Each worker meters the gates *it* evaluates against its own
+    /// [`BudgetMeter`] over the shared budget. A worker's gate set is a
+    /// subset of the network's, so any budget the serial engine fits is
+    /// fit here too (see the budget module docs on monotonicity); the
+    /// accounting is deterministic because the signal sets are fixed at
+    /// construction.
+    fn evaluate(
+        &mut self,
+        net: &Network,
+        inputs: &[DigitalTrace],
+        budget: &RunBudget,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(), SimError> {
         let started = self.busy.start();
-        let result = self.evaluate_inner(net, inputs);
+        let result = self.evaluate_inner(net, inputs, budget, overlay);
         self.busy.stop(started);
         result
     }
 
-    fn evaluate_inner(&mut self, net: &Network, inputs: &[DigitalTrace]) -> Result<(), SimError> {
+    fn evaluate_inner(
+        &mut self,
+        net: &Network,
+        inputs: &[DigitalTrace],
+        budget: &RunBudget,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(), SimError> {
+        let mut meter = BudgetMeter::start(budget);
         self.arena.reset();
         for &s in &self.signals {
             let s = s as usize;
             let id = net.signal_id(s).expect("s < signal_count");
             let source = net.source(id);
-            let span = if matches!(source, SignalSource::Input) {
+            let is_input = matches!(source, SignalSource::Input);
+            let mut span = if is_input {
                 self.arena.push_trace(&inputs[s])
             } else if let Some((src, invert)) = kernel::duplicate_shortcut(&source) {
                 // Channel-less unary gate: a span copy in the flat
                 // array, the same fast path as the serial engine (one
                 // shared predicate decides it for both).
+                meter.on_event()?;
                 self.arena
                     .push_duplicate(self.span_of[src.index()] as usize, invert)
             } else {
+                meter.on_event()?;
                 let span_of = &self.span_of;
                 let chan = &self.chan;
                 let (sealed, out, scratch) = self.arena.stage();
@@ -213,6 +238,14 @@ impl Worker {
                 )?;
                 self.arena.seal_out()
             };
+            if let Some(ov) = overlay {
+                if ov.rewrites(id) {
+                    span = rewrite_span(&mut self.arena, span, id, ov)?;
+                }
+            }
+            if !is_input {
+                meter.on_edges(self.arena.trace(span).len() as u64)?;
+            }
             // Lossless: construction checked the signal count fits u32,
             // and a worker seals at most one span per signal per run.
             self.span_of[s] = span as u32;
@@ -396,6 +429,47 @@ impl<'n> ParallelSimulator<'n> {
         inputs: &[DigitalTrace],
         arena: &mut TraceArena,
     ) -> Result<(), SimError> {
+        self.run_controlled_in(inputs, arena, &RunBudget::UNLIMITED, None)
+    }
+
+    /// [`ParallelSimulator::run_in`] under a [`RunBudget`]: each worker
+    /// meters its own gate evaluations against the budget (see the
+    /// budget module docs — per-worker accounting is monotone with the
+    /// serial engine's), and a tripped run returns
+    /// [`SimError::BudgetExceeded`] instead of doing unbounded work.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BudgetExceeded`] — a worker's budget tripped (the
+    ///   lowest-indexed failing worker's error, deterministically).
+    /// * As [`ParallelSimulator::run_in`].
+    pub fn run_budgeted_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+        budget: &RunBudget,
+    ) -> Result<(), SimError> {
+        self.run_controlled_in(inputs, arena, budget, None)
+    }
+
+    /// The fully general run: a [`RunBudget`] plus an optional
+    /// [`TraceOverlay`] shared by reference across the scoped workers —
+    /// bit-identical to [`crate::Simulator::run_controlled_in`] under
+    /// the same budget-free inputs, because every worker applies the
+    /// same pure rewrite at the same sealed-span boundary.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BudgetExceeded`] — a worker's budget tripped.
+    /// * Propagates overlay rewrite failures.
+    /// * As [`ParallelSimulator::run_in`].
+    pub fn run_controlled_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+        budget: &RunBudget,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(), SimError> {
         if inputs.len() != self.net.input_count() {
             return Err(SimError::Network {
                 reason: format!(
@@ -414,9 +488,9 @@ impl<'n> ParallelSimulator<'n> {
             let handles: Vec<_> = rest
                 .iter_mut()
                 .filter(|w| !w.signals.is_empty())
-                .map(|w| scope.spawn(move || w.evaluate(net, inputs)))
+                .map(|w| scope.spawn(move || w.evaluate(net, inputs, budget, overlay)))
                 .collect();
-            let mut result = first.evaluate(net, inputs);
+            let mut result = first.evaluate(net, inputs, budget, overlay);
             for h in handles {
                 let r = h
                     .join()

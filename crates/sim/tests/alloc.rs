@@ -134,6 +134,41 @@ fn warm_probed_simulator_run_in_is_allocation_free_and_counts_events() {
 }
 
 #[test]
+fn tripped_budget_runs_stay_allocation_free() {
+    // The graceful-degradation path is held to the same standard as the
+    // happy path: a warm engine re-run under a too-small RunBudget must
+    // return SimError::BudgetExceeded without a single heap allocation
+    // — the error variant is allocation-free by construction (resource
+    // tag + integer limit, no String), and tripping mid-run must not
+    // disturb the arena's reset-not-shrink reuse. A full unbudgeted run
+    // after each trip stays allocation-free too.
+    let cells = committed_cells();
+    for (file, seed) in [("c432.bench", 0x432), ("c880.bench", 0x880)] {
+        let lowered = fixture(file).lower(&cells).expect("lowering");
+        let inputs = traffic(lowered.inputs.len(), seed);
+        let mut sim = Simulator::new(&lowered.net).expect("engine construction");
+        let mut arena = TraceArena::new();
+        sim.run_in(&inputs, &mut arena).expect("warm-up run");
+        let warm_edges = arena.total_edges();
+        let budget = mis_sim::RunBudget::UNLIMITED.with_max_events(25);
+        let (allocations, ()) = alloc::count_in(|| {
+            for _ in 0..5 {
+                match sim.run_budgeted_in(&inputs, &mut arena, &budget) {
+                    Err(mis_digital::SimError::BudgetExceeded { .. }) => {}
+                    _ => panic!("a 25-event budget must trip on {file}"),
+                }
+                sim.run_in(&inputs, &mut arena).expect("run after a trip");
+            }
+        });
+        assert_eq!(
+            allocations, 0,
+            "{file}: tripped-budget cycling allocated {allocations} times"
+        );
+        assert_eq!(arena.total_edges(), warm_edges, "{file}: reproducible");
+    }
+}
+
+#[test]
 fn worker_thread_allocations_stay_off_this_threads_count() {
     // The counting allocator is thread-local by design: a zero-allocation
     // assertion is a claim about the asserting thread's own hot path, not

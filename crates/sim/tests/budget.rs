@@ -1,0 +1,239 @@
+//! Boundary behavior of [`RunBudget`] on both engines, against the
+//! committed fixtures: the budget trips strictly *past* its limit
+//! (exactly-enough succeeds, one-less errors), zero budgets trip on the
+//! first unit of work, a tripped run leaves the engine and arena fully
+//! reusable, and below-budget runs stay bit-identical to unbudgeted
+//! ones at every worker count.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mis_charlib::CharLib;
+use mis_digital::{BudgetResource, InertialChannel, SimError};
+use mis_sim::{BenchNetlist, CellLibrary, LoweredNetlist, ParallelSimulator, RunBudget, Simulator};
+use mis_waveform::generate::{Assignment, TraceConfig};
+use mis_waveform::units::ps;
+use mis_waveform::{DigitalTrace, TraceArena};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn lowered(name: &str) -> LoweredNetlist {
+    let text =
+        std::fs::read_to_string(workspace_root().join("data/bench").join(name)).expect("fixture");
+    let nl = BenchNetlist::parse(&text).expect("fixture parses");
+    let lib_text = std::fs::read_to_string(workspace_root().join("data/charlib/nor_paper.mislib"))
+        .expect("committed NOR library");
+    let lib = CharLib::from_text(&lib_text).expect("library parses");
+    let cells = CellLibrary::hybrid(
+        &lib,
+        Some(InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel")),
+    )
+    .expect("cell library");
+    nl.lower(&cells).expect("lowering")
+}
+
+fn traffic(n: usize, seed: u64) -> Vec<DigitalTrace> {
+    (0..n)
+        .map(|i| {
+            let pair = TraceConfig::new(ps(400.0), ps(150.0), Assignment::Local, 40)
+                .generate(seed + i as u64)
+                .expect("trace generation");
+            if i % 2 == 0 {
+                pair.a
+            } else {
+                pair.b
+            }
+        })
+        .collect()
+}
+
+/// What one unbudgeted run of `name` costs: (events, gate-emitted
+/// edges), measured the same way the meter charges them — one event per
+/// gate evaluation, the sealed span length per evaluated gate (inputs
+/// are caller data and free).
+fn run_cost(name: &str, seed: u64) -> (u64, u64) {
+    let lowered = lowered(name);
+    let inputs = traffic(lowered.inputs.len(), seed);
+    let mut sim = Simulator::new(&lowered.net).expect("engine");
+    let mut arena = TraceArena::new();
+    sim.run_in(&inputs, &mut arena).expect("unbudgeted run");
+    let events = (lowered.net.signal_count() - lowered.net.input_count()) as u64;
+    let edges: u64 = (0..lowered.net.signal_count())
+        .filter_map(|s| lowered.net.signal_id(s))
+        .filter(|id| !lowered.inputs.contains(id))
+        .map(|id| sim.trace(&arena, id).len() as u64)
+        .sum();
+    (events, edges)
+}
+
+#[test]
+fn exact_event_budget_passes_and_one_less_trips() {
+    for (file, seed) in [("c17.bench", 0xC17), ("c432.bench", 0x432)] {
+        let (events, _) = run_cost(file, seed);
+        let lowered = lowered(file);
+        let inputs = traffic(lowered.inputs.len(), seed);
+        let mut sim = Simulator::new(&lowered.net).expect("engine");
+        let mut arena = TraceArena::new();
+        sim.run_budgeted_in(
+            &inputs,
+            &mut arena,
+            &RunBudget::UNLIMITED.with_max_events(events),
+        )
+        .expect("exactly-enough event budget must succeed");
+        match sim.run_budgeted_in(
+            &inputs,
+            &mut arena,
+            &RunBudget::UNLIMITED.with_max_events(events - 1),
+        ) {
+            Err(SimError::BudgetExceeded { resource, limit }) => {
+                assert_eq!(resource, BudgetResource::Events, "{file}");
+                assert_eq!(limit, events - 1, "{file}");
+            }
+            other => panic!("{file}: one-less event budget returned {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn exact_edge_budget_passes_and_one_less_trips() {
+    for (file, seed) in [("c17.bench", 0xC17), ("c432.bench", 0x432)] {
+        let (_, edges) = run_cost(file, seed);
+        let lowered = lowered(file);
+        let inputs = traffic(lowered.inputs.len(), seed);
+        let mut sim = Simulator::new(&lowered.net).expect("engine");
+        let mut arena = TraceArena::new();
+        sim.run_budgeted_in(
+            &inputs,
+            &mut arena,
+            &RunBudget::UNLIMITED.with_max_edges(edges),
+        )
+        .expect("exactly-enough edge budget must succeed");
+        match sim.run_budgeted_in(
+            &inputs,
+            &mut arena,
+            &RunBudget::UNLIMITED.with_max_edges(edges - 1),
+        ) {
+            Err(SimError::BudgetExceeded { resource, limit }) => {
+                assert_eq!(resource, BudgetResource::Edges, "{file}");
+                assert_eq!(limit, edges - 1, "{file}");
+            }
+            other => panic!("{file}: one-less edge budget returned {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn zero_budgets_trip_on_the_first_unit_of_work() {
+    let lowered = lowered("c17.bench");
+    let inputs = traffic(lowered.inputs.len(), 0xC17);
+    let mut arena = TraceArena::new();
+    let mut sim = Simulator::new(&lowered.net).expect("engine");
+    for (budget, resource) in [
+        (
+            RunBudget::UNLIMITED.with_max_events(0),
+            BudgetResource::Events,
+        ),
+        (
+            RunBudget::UNLIMITED.with_max_edges(0),
+            BudgetResource::Edges,
+        ),
+        (
+            RunBudget::UNLIMITED.with_deadline(Duration::ZERO),
+            BudgetResource::Deadline,
+        ),
+    ] {
+        match sim.run_budgeted_in(&inputs, &mut arena, &budget) {
+            Err(SimError::BudgetExceeded { resource: r, .. }) => assert_eq!(r, resource),
+            other => panic!("zero {resource} budget returned {other:?}"),
+        }
+        let mut par = ParallelSimulator::new(&lowered.net, 3).expect("parallel engine");
+        match par.run_budgeted_in(&inputs, &mut arena, &budget) {
+            Err(SimError::BudgetExceeded { resource: r, .. }) => assert_eq!(r, resource),
+            other => panic!("parallel zero {resource} budget returned {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn generous_deadline_does_not_trip() {
+    let lowered = lowered("c432.bench");
+    let inputs = traffic(lowered.inputs.len(), 0x432);
+    let mut sim = Simulator::new(&lowered.net).expect("engine");
+    let mut arena = TraceArena::new();
+    sim.run_budgeted_in(
+        &inputs,
+        &mut arena,
+        &RunBudget::UNLIMITED.with_deadline(Duration::from_secs(3600)),
+    )
+    .expect("an hour is enough for one C432 run");
+}
+
+#[test]
+fn a_tripped_run_leaves_engine_and_arena_reusable() {
+    let lowered = lowered("c432.bench");
+    let inputs = traffic(lowered.inputs.len(), 0x432);
+    let mut sim = Simulator::new(&lowered.net).expect("engine");
+    let mut arena = TraceArena::new();
+    // Reference edges from a clean engine+arena pair.
+    let mut fresh = Simulator::new(&lowered.net).expect("engine");
+    let mut fresh_arena = TraceArena::new();
+    fresh.run_in(&inputs, &mut fresh_arena).expect("reference");
+    // Trip mid-circuit (enough budget to do real work first), then run
+    // unbudgeted with the same engine and arena: the result must match
+    // the clean pair's bit for bit.
+    for tripped_events in [1, 7, 50] {
+        match sim.run_budgeted_in(
+            &inputs,
+            &mut arena,
+            &RunBudget::UNLIMITED.with_max_events(tripped_events),
+        ) {
+            Err(SimError::BudgetExceeded { .. }) => {}
+            other => panic!("budget of {tripped_events} events returned {other:?}"),
+        }
+        sim.run_in(&inputs, &mut arena).expect("run after a trip");
+        assert_eq!(arena.total_edges(), fresh_arena.total_edges());
+        for s in 0..lowered.net.signal_count() {
+            let id = lowered.net.signal_id(s).expect("s < signal_count");
+            let a = sim.trace(&arena, id);
+            let b = fresh.trace(&fresh_arena, id);
+            assert_eq!(a.initial_value(), b.initial_value(), "signal {s}");
+            assert_eq!(a.times(), b.times(), "signal {s}");
+        }
+    }
+}
+
+#[test]
+fn below_budget_runs_are_bit_identical_at_every_worker_count() {
+    for (file, seed) in [("c432.bench", 0x432), ("c880.bench", 0x880)] {
+        let (events, edges) = run_cost(file, seed);
+        let lowered = lowered(file);
+        let inputs = traffic(lowered.inputs.len(), seed);
+        let budget = RunBudget::UNLIMITED
+            .with_max_events(events)
+            .with_max_edges(edges);
+        let mut serial = Simulator::new(&lowered.net).expect("engine");
+        let mut serial_arena = TraceArena::new();
+        serial
+            .run_budgeted_in(&inputs, &mut serial_arena, &budget)
+            .expect("serial under exact budget");
+        for workers in 1..=8 {
+            let mut par = ParallelSimulator::new(&lowered.net, workers).expect("parallel engine");
+            let mut arena = TraceArena::new();
+            // The serial engine evaluates every gate of the network;
+            // each worker's gate set is a subset, so a budget the
+            // serial run fits in can never trip a worker (monotonicity
+            // across engines).
+            par.run_budgeted_in(&inputs, &mut arena, &budget)
+                .unwrap_or_else(|e| panic!("{file}: {workers} workers under exact budget: {e}"));
+            for s in 0..lowered.net.signal_count() {
+                let id = lowered.net.signal_id(s).expect("s < signal_count");
+                let a = serial.trace(&serial_arena, id);
+                let b = par.trace(&arena, id);
+                assert_eq!(a.initial_value(), b.initial_value(), "{file} s{s}");
+                assert_eq!(a.times(), b.times(), "{file} s{s} at {workers} workers");
+            }
+        }
+    }
+}

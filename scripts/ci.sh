@@ -68,6 +68,32 @@ if [[ "${CI_BENCH:-0}" != "0" ]]; then
     cargo run --release -q -p mis-bench --bin sim_profile --offline -- --json \
         --expect sim.events_popped=510,sim.gates_evaluated=510,sim.heap_high_water=95,sim.edges.input=1200,sim.edges.mis=1238,sim.edges.not=1750,chan.pending_cancelled=65,chan.table_lookups=741,chan.pulse_filtered=1424 \
         data/bench/c880.bench > /dev/null
+    # Fault-coverage pinning gate: fault_sim runs the exhaustive
+    # single-stuck-at campaign (plus 24 deterministic glitches on the
+    # large fixtures) against the same golden run sim_profile pins event
+    # counts on, and compares the fault.* probe counters against the
+    # frozen values below. Coverage is a pure function of the netlist,
+    # cells and traffic, and the campaign report is identical at every
+    # worker count — any drift means detection behavior changed. Re-pin
+    # via `fault_sim --json [--glitches 24] <fixture>`.
+    echo "== fault-coverage pinning gate (fault_sim --expect, c17/c432/c880)"
+    cargo run --release -q -p mis-bench --bin fault_sim --offline -- --json \
+        --expect fault.injected=22,fault.detected=22,fault.budget_trips=0 \
+        data/bench/c17.bench > /dev/null
+    cargo run --release -q -p mis-bench --bin fault_sim --offline -- --json --glitches 24 \
+        --expect fault.injected=464,fault.detected=356,fault.budget_trips=0 \
+        data/bench/c432.bench > /dev/null
+    cargo run --release -q -p mis-bench --bin fault_sim --offline -- --json --glitches 24 \
+        --expect fault.injected=1164,fault.detected=1049,fault.budget_trips=0 \
+        data/bench/c880.bench > /dev/null
+    # Differential-fuzz smoke: a bounded run of the mis-fault harness
+    # (random bounded-channel circuits; serial-vs-parallel bit-identity,
+    # faulted-STA soundness, graceful budget trips on both engines).
+    # Deterministic per seed, so a failure here reproduces locally with
+    # the same command.
+    echo "== differential-fuzz smoke (fault_sim --fuzz 16)"
+    cargo run --release -q -p mis-bench --bin fault_sim --offline -- \
+        --fuzz 16 --workers 4 > /dev/null
     echo "== bench regression gate (scripts/bench_diff.sh)"
     scripts/bench_diff.sh
 fi

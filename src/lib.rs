@@ -28,6 +28,11 @@
 //!   source-line anchors) and static timing bounds — per-signal arrival
 //!   windows propagated from each channel's `DelayBounds`, property-
 //!   verified sound against the dynamic engines.
+//! * [`fault`] (`mis-fault`) — deterministic fault injection over the
+//!   `sim` engines: stuck-at and transient-glitch fault sites realized
+//!   as trace overlays, golden-run campaigns with per-output detection
+//!   and coverage, and a differential fuzz harness cross-checking both
+//!   engines against faulted static timing windows.
 //! * [`waveform`] (`mis-waveform`) — analog waveforms, digital traces,
 //!   digitization, deviation area, random trace generation.
 //! * [`num`] (`mis-num`) / [`linalg`] (`mis-linalg`) — the numerical
@@ -65,6 +70,7 @@ pub use mis_analyze as analyze;
 pub use mis_charlib as charlib;
 pub use mis_core as core;
 pub use mis_digital as digital;
+pub use mis_fault as fault;
 pub use mis_linalg as linalg;
 pub use mis_num as num;
 pub use mis_probe as probe;
