@@ -2,7 +2,7 @@
 //! circuit *without* simulating it, and whose answers are property-tested
 //! against the dynamic engines that do.
 //!
-//! Two halves:
+//! Three pieces:
 //!
 //! * [`mod@lint`] — structural checks over a parsed
 //!   [`mis_sim::BenchNetlist`], reported as stable diagnostic codes
@@ -17,6 +17,11 @@
 //!   propagated with each channel's [`mis_digital::DelayBounds`],
 //!   summarized as a level census, per-output arrivals and a critical
 //!   path ([`TimingAnalysis::report`]).
+//! * [`attribution`] — the static/dynamic join: `gate` spans from a
+//!   `mis_probe` trace snapshot attributed to their signals'
+//!   topological levels ([`attribute_levels`]), yielding the per-level
+//!   time/event table a level-sliced scheduler would be designed
+//!   against, plus per-level `level.L<n>.eval_ns` probe histograms.
 //!
 //! The load-bearing guarantee is **soundness**: every transition the
 //! event-driven [`mis_sim::Simulator`] (and its parallel twin) emits
@@ -49,10 +54,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attribution;
 pub mod diag;
 pub mod lint;
 pub mod sta;
 
+pub use attribution::{attribute_levels, LevelAttribution, LevelRow};
 pub use diag::{DiagCode, Diagnostic, LintReport, Severity};
 pub use lint::{lint, LintConfig};
 pub use sta::{OutputTiming, PathStep, TimingAnalysis, TimingReport, Window, WindowEdit};

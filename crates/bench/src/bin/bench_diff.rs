@@ -14,18 +14,45 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <fresh.json> [max_regression_factor]
+//! bench_diff --history <history.jsonl> [--env TAG] <snapshot.json>...
 //! ```
 //!
 //! The factor defaults to 1.25 (a >25 % regression of the fresh floor
 //! over the committed median fails). The parser is schema-specific to
 //! the `mis-testkit` bench JSON — no external JSON dependency needed.
+//!
+//! `--history` turns the three overwritten `BENCH_*.json` snapshots
+//! into a queryable perf trajectory: for each snapshot it appends one
+//! self-validated JSON line — environment tag, unix timestamp, suite
+//! name (from the `BENCH_<suite>.json` filename), and every id's
+//! median — to the given `.jsonl` log (created if absent). The
+//! committed `BENCH_HISTORY.jsonl` is that log for the committed
+//! baselines; CI smoke-appends to a scratch copy.
 
 use std::process::ExitCode;
 
+use mis_probe::json::{is_wellformed, json_f64, json_string};
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--history") {
+        return match run_history(&args[1..]) {
+            Ok(msg) => {
+                println!("{msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                eprintln!(
+                    "usage: bench_diff --history <history.jsonl> [--env TAG] <snapshot.json>..."
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.len() < 2 || args.len() > 3 {
         eprintln!("usage: bench_diff <baseline.json> <fresh.json> [max_regression_factor]");
+        eprintln!("       bench_diff --history <history.jsonl> [--env TAG] <snapshot.json>...");
         return ExitCode::from(2);
     }
     let factor: f64 = match args.get(2) {
@@ -140,4 +167,72 @@ fn field_after(text: &str, key: &str, path: &str, id: &str) -> Result<f64, Strin
     rest[..end]
         .parse()
         .map_err(|_| format!("{path}: bad {key} for '{id}'"))
+}
+
+/// The `--history` mode: appends one JSON line per snapshot file to the
+/// history log — `{"suite":...,"env":...,"unix_s":...,"medians":{id:ns}}`
+/// — validating each line before writing, same contract as every other
+/// JSON emitter in the workspace.
+fn run_history(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    let history_path = it.next().ok_or("missing <history.jsonl>")?.clone();
+    let mut env_tag = "local".to_string();
+    let mut snapshots: Vec<String> = Vec::new();
+    while let Some(arg) = it.next() {
+        if arg == "--env" {
+            env_tag = it.next().ok_or("--env needs a value")?.clone();
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag '{arg}'"));
+        } else {
+            snapshots.push(arg.clone());
+        }
+    }
+    if snapshots.is_empty() {
+        return Err("no <snapshot.json> files given".to_string());
+    }
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_err(|e| format!("system clock before the epoch: {e}"))?
+        .as_secs();
+    let mut lines = String::new();
+    for path in &snapshots {
+        let rows = read_results(path)?;
+        let medians: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{}:{}", json_string(&r.id), json_f64(r.median_ns)))
+            .collect();
+        let line = format!(
+            "{{\"suite\":{},\"env\":{},\"unix_s\":{unix_s},\"medians\":{{{}}}}}",
+            json_string(&suite_name(path)),
+            json_string(&env_tag),
+            medians.join(",")
+        );
+        if !is_wellformed(&line) {
+            return Err(format!("internal error: malformed history line: {line}"));
+        }
+        lines.push_str(&line);
+        lines.push('\n');
+    }
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .map_err(|e| format!("open {history_path}: {e}"))?;
+    file.write_all(lines.as_bytes())
+        .map_err(|e| format!("append {history_path}: {e}"))?;
+    Ok(format!(
+        "appended {} suite record(s) to {history_path} (env {env_tag})",
+        snapshots.len()
+    ))
+}
+
+/// The suite name encoded in a snapshot path: `BENCH_<suite>.json`
+/// yields `<suite>`; anything else falls back to the file stem.
+fn suite_name(path: &str) -> String {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path);
+    stem.strip_prefix("BENCH_").unwrap_or(stem).to_string()
 }

@@ -16,10 +16,18 @@
 //!
 //! ```text
 //! fault_sim [--json] [--workers N] [--glitches N]
-//!           [--max-events N] [--max-edges N]
+//!           [--max-events N] [--max-edges N] [--trace <out.json>]
 //!           [--expect k=v,...] <netlist.bench>
 //! fault_sim --fuzz ITERS [--seed N] [--workers N] [--json]
 //! ```
+//!
+//! `--trace` records the campaign on a live `mis_probe::TraceSink` —
+//! the golden run's gate spans plus, per worker, a chunk span, a
+//! `fault_run` span per replay and coverage-over-time samples — and
+//! writes the timeline as checker-validated Chrome Trace Format JSON.
+//! The per-worker `fault.w<i>.busy` utilization timers appear in the
+//! report (and `--json` line) whenever the campaign runs probed,
+//! traced or not.
 //!
 //! `--fuzz` ignores the campaign flags and instead runs the
 //! differential fuzz harness (random circuits, stimuli and faults;
@@ -34,11 +42,11 @@ use std::process::ExitCode;
 use mis_bench::emit;
 use mis_bench::netlist::{committed_cells, traffic};
 use mis_fault::{
-    fuzz_differential, run_campaign_probed, stuck_at_sites, CampaignConfig, FaultOutcome,
+    fuzz_differential, run_campaign_traced, stuck_at_sites, CampaignConfig, FaultOutcome,
     FaultSite, FuzzConfig,
 };
 use mis_probe::json::{is_wellformed, json_f64, json_string};
-use mis_probe::Probe;
+use mis_probe::{Probe, TraceSink};
 use mis_sim::{BenchNetlist, RunBudget};
 use mis_waveform::units::ps;
 
@@ -65,6 +73,7 @@ struct Args {
     max_edges: Option<u64>,
     fuzz: Option<u32>,
     seed: u64,
+    trace: Option<String>,
     expect: Vec<(String, u64)>,
     file: Option<String>,
 }
@@ -78,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         max_edges: None,
         fuzz: None,
         seed: 0x5eed,
+        trace: None,
         expect: Vec::new(),
         file: None,
     };
@@ -123,6 +133,9 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = value("--seed", &mut argv)?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--trace" => {
+                args.trace = Some(value("--trace", &mut argv)?);
             }
             "--expect" => {
                 let spec = value("--expect", &mut argv)?;
@@ -214,19 +227,36 @@ fn run_campaign_cli(args: &Args, file: &str) -> Result<(), String> {
     faults.extend(glitch_sites(&lowered.net, args.glitches)?);
 
     let probe = Probe::new();
+    let sink = if args.trace.is_some() {
+        TraceSink::new()
+    } else {
+        TraceSink::disabled()
+    };
     let config = CampaignConfig {
         workers: args.workers,
         budget: budget(args),
     };
-    let report = run_campaign_probed(
+    let report = run_campaign_traced(
         &lowered.net,
         &lowered.outputs,
         &inputs,
         &faults,
         &config,
         &probe,
+        &sink,
     )
     .map_err(|e| format!("campaign: {e}"))?;
+
+    if let Some(path) = &args.trace {
+        let chrome = sink.snapshot().to_chrome_json();
+        if !is_wellformed(&chrome) {
+            return Err(format!("internal error: malformed trace JSON for {path}"));
+        }
+        std::fs::write(path, &chrome).map_err(|e| format!("write {path}: {e}"))?;
+        if !args.json {
+            emit(format_args!("wrote campaign timeline to {path}\n"));
+        }
+    }
 
     let snap = probe.report();
     if args.json {
@@ -320,7 +350,7 @@ fn main() -> ExitCode {
             eprintln!("fault_sim: {e}");
             eprintln!(
                 "usage: fault_sim [--json] [--workers N] [--glitches N] [--max-events N] \
-                 [--max-edges N] [--expect k=v,...] <netlist.bench>"
+                 [--max-edges N] [--trace <out.json>] [--expect k=v,...] <netlist.bench>"
             );
             eprintln!("       fault_sim --fuzz ITERS [--seed N] [--workers N] [--json]");
             return ExitCode::from(2);

@@ -14,11 +14,18 @@
 //! Usage:
 //!
 //! ```text
-//! sim_profile [--json] [--vcd <out.vcd>] [--expect k=v,...] <netlist.bench>
+//! sim_profile [--json] [--vcd <out.vcd>] [--trace <out.json>]
+//!             [--expect k=v,...] <netlist.bench>
 //! ```
 //!
 //! `--vcd` additionally dumps every named (non-synthetic) signal's
 //! simulated trace as an IEEE-1364 VCD file for waveform viewers.
+//! `--trace` runs the engine with a live `mis_probe::TraceSink`, writes
+//! the captured timeline as checker-validated Chrome Trace Format JSON
+//! (loadable by `chrome://tracing` / Perfetto), and joins the gate
+//! spans against `mis_analyze` topological levels — the per-level
+//! attribution table in text mode, `level.L<n>.eval_ns` histograms in
+//! the probe report either way.
 //! `--expect` compares named counter/gauge scalars against pinned
 //! values (comma-separated `metric=value` pairs) and fails on any
 //! drift — the mechanism behind CI's frozen per-fixture event counts.
@@ -28,11 +35,12 @@
 
 use std::process::ExitCode;
 
+use mis_analyze::{attribute_levels, TimingAnalysis};
 use mis_bench::emit;
 use mis_bench::netlist::{committed_cells, traffic};
 use mis_probe::json::{is_wellformed, json_string};
 use mis_probe::vcd::{write_vcd, VcdSignal};
-use mis_probe::Probe;
+use mis_probe::{Probe, TraceSink};
 use mis_sim::{BenchNetlist, Simulator};
 use mis_waveform::TraceArena;
 
@@ -54,6 +62,7 @@ fn parse_expect(spec: &str) -> Result<Vec<(String, u64)>, String> {
 struct Args {
     json: bool,
     vcd: Option<String>,
+    trace: Option<String>,
     expect: Vec<(String, u64)>,
     file: String,
 }
@@ -61,6 +70,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut json = false;
     let mut vcd = None;
+    let mut trace = None;
     let mut expect = Vec::new();
     let mut files = Vec::new();
     let mut argv = std::env::args().skip(1);
@@ -69,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
             "--json" => json = true,
             "--vcd" => {
                 vcd = Some(argv.next().ok_or("--vcd needs an output path")?);
+            }
+            "--trace" => {
+                trace = Some(argv.next().ok_or("--trace needs an output path")?);
             }
             "--expect" => {
                 let spec = argv.next().ok_or("--expect needs metric=value,...")?;
@@ -82,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         Ok([file]) => Ok(Args {
             json,
             vcd,
+            trace,
             expect,
             file,
         }),
@@ -98,11 +112,31 @@ fn run(args: &Args) -> Result<(), String> {
     let inputs = traffic(lowered.inputs.len())?;
 
     let probe = Probe::new();
+    let sink = if args.trace.is_some() {
+        TraceSink::new()
+    } else {
+        TraceSink::disabled()
+    };
     let mut sim =
-        Simulator::new_probed(&lowered.net, &probe).map_err(|e| format!("engine: {e}"))?;
+        Simulator::new_traced(&lowered.net, &probe, &sink).map_err(|e| format!("engine: {e}"))?;
     let mut arena = TraceArena::new();
     sim.run_in(&inputs, &mut arena)
         .map_err(|e| format!("simulation: {e}"))?;
+
+    // The timeline export and the per-level join come before the probe
+    // snapshot so the `level.L<n>.eval_ns` histograms land in the
+    // report alongside the engine counters.
+    let attribution = args.trace.as_ref().map(|path| {
+        let snap = sink.snapshot();
+        let chrome = snap.to_chrome_json();
+        if !is_wellformed(&chrome) {
+            return Err(format!("internal error: malformed trace JSON for {path}"));
+        }
+        std::fs::write(path, &chrome).map_err(|e| format!("write {path}: {e}"))?;
+        let ta = TimingAnalysis::new(&lowered.net);
+        Ok(attribute_levels(ta.levels(), &snap, &probe))
+    });
+    let attribution = attribution.transpose()?;
 
     let report = probe.report();
     if args.json {
@@ -130,6 +164,9 @@ fn run(args: &Args) -> Result<(), String> {
             nl.gates().len()
         ));
         emit(format_args!("{report}"));
+        if let Some(attr) = &attribution {
+            emit(format_args!("per-level attribution:\n{attr}\n"));
+        }
     }
 
     if let Some(path) = &args.vcd {
@@ -177,7 +214,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("sim_profile: {e}");
             eprintln!(
-                "usage: sim_profile [--json] [--vcd <out.vcd>] [--expect k=v,...] <netlist.bench>"
+                "usage: sim_profile [--json] [--vcd <out.vcd>] [--trace <out.json>] \
+                 [--expect k=v,...] <netlist.bench>"
             );
             return ExitCode::from(2);
         }

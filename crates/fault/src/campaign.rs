@@ -26,7 +26,7 @@
 //! per-fault outcome bookkeeping, never trace storage.
 
 use mis_digital::{Network, SignalId, SimError};
-use mis_probe::Probe;
+use mis_probe::{EventKind, Probe, TraceSink};
 use mis_sim::{RunBudget, Simulator};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
@@ -123,10 +123,12 @@ fn differs(view: TraceRef<'_>, golden: &DigitalTrace) -> bool {
 }
 
 /// [`run_campaign`] with the three campaign counters —
-/// `fault.injected`, `fault.detected`, `fault.budget_trips` —
-/// recording into `probe`. The counters are atomic and shared, so the
-/// workers increment them directly; totals are exact, arrival order is
-/// not part of the report.
+/// `fault.injected`, `fault.detected`, `fault.budget_trips` — and one
+/// `fault.w<i>.busy` span timer per worker (the campaign-utilization
+/// picture, matching the parallel engine's `par.w<i>.busy`) recording
+/// into `probe`. The counters are atomic and shared, so the workers
+/// increment them directly; totals are exact, arrival order is not
+/// part of the report.
 ///
 /// # Errors
 ///
@@ -141,14 +143,49 @@ pub fn run_campaign_probed(
     config: &CampaignConfig,
     probe: &Probe,
 ) -> Result<CampaignReport, FaultError> {
+    run_campaign_traced(
+        net,
+        outputs,
+        inputs,
+        faults,
+        config,
+        probe,
+        &TraceSink::disabled(),
+    )
+}
+
+/// [`run_campaign_probed`] plus timeline recording into `sink`: the
+/// golden run traces onto the `sim` track, and each campaign worker
+/// records onto its own `fault.w<i>` track — one `chunk` span for its
+/// whole fault chunk, a `fault_run` span per faulty replay (payload:
+/// global fault index + outcome code), and a `coverage` counter sample
+/// after each detection (this worker's cumulative detected count — the
+/// coverage-over-time curve, per worker so the values are deterministic
+/// under the fixed chunk partition).
+///
+/// # Errors
+///
+/// As [`run_campaign_probed`].
+pub fn run_campaign_traced(
+    net: &Network,
+    outputs: &[SignalId],
+    inputs: &[DigitalTrace],
+    faults: &[FaultSite],
+    config: &CampaignConfig,
+    probe: &Probe,
+    sink: &TraceSink,
+) -> Result<CampaignReport, FaultError> {
     if config.workers == 0 {
         return Err(FaultError::Invalid {
             reason: "campaign needs at least one worker".into(),
         });
     }
     // The golden run: fault-free, unbudgeted, serial. Output traces are
-    // materialized once and shared read-only with every worker.
-    let mut sim = Simulator::new(net)?;
+    // materialized once and shared read-only with every worker. It
+    // traces onto the `sim` track (with a detached counter bundle, so
+    // the campaign's probe keeps only `fault.*` engine-independent
+    // metrics).
+    let mut sim = Simulator::new_traced(net, &Probe::disabled(), sink)?;
     let mut arena = TraceArena::new();
     sim.run_in(inputs, &mut arena)?;
     let golden: Vec<DigitalTrace> = outputs
@@ -169,15 +206,25 @@ pub fn run_campaign_probed(
         let handles: Vec<_> = faults
             .chunks(chunk)
             .zip(results.chunks_mut(chunk))
-            .map(|(sites, slots)| {
+            .enumerate()
+            .map(|(w, (sites, slots))| {
+                // Cold-path registration happens on the coordinator:
+                // the worker only records.
+                let busy = probe.timer(&format!("fault.w{w}.busy"));
+                let track = sink.track(&format!("fault.w{w}"));
+                let chunk_base = w * chunk;
                 scope.spawn(move || -> Result<(), FaultError> {
+                    let busy_started = busy.start();
+                    let chunk_started = track.start();
+                    let mut detected_here = 0u32;
                     // One engine and one warm arena per worker, reused
                     // across every fault in the chunk.
                     let mut sim = Simulator::new(net)?;
                     let mut arena = TraceArena::new();
-                    for (site, slot) in sites.iter().zip(slots.iter_mut()) {
+                    for (j, (site, slot)) in sites.iter().zip(slots.iter_mut()).enumerate() {
                         let overlay = FaultOverlay::new(*site);
                         injected_ref.inc();
+                        let fault_started = track.start();
                         let run = sim.run_controlled_in(
                             inputs,
                             &mut arena,
@@ -196,6 +243,7 @@ pub fn run_campaign_probed(
                                     FaultOutcome::Undetected
                                 } else {
                                     detected_ref.inc();
+                                    detected_here += 1;
                                     FaultOutcome::Detected
                                 };
                                 FaultResult {
@@ -214,8 +262,29 @@ pub fn run_campaign_probed(
                             }
                             Err(e) => return Err(FaultError::Sim(e)),
                         };
+                        let code = match result.outcome {
+                            FaultOutcome::Undetected => 0,
+                            FaultOutcome::Detected => 1,
+                            FaultOutcome::BudgetTripped => 2,
+                        };
+                        track.span(
+                            EventKind::FaultRun,
+                            (chunk_base + j) as u32,
+                            code,
+                            fault_started,
+                        );
+                        if code == 1 {
+                            track.sample(EventKind::Coverage, w as u32, detected_here);
+                        }
                         *slot = Some(result);
                     }
+                    track.span(
+                        EventKind::Chunk,
+                        w as u32,
+                        sites.len() as u32,
+                        chunk_started,
+                    );
+                    busy.stop(busy_started);
                     Ok(())
                 })
             })
@@ -400,6 +469,80 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, FaultError::Invalid { .. }));
+    }
+
+    #[test]
+    fn traced_campaign_records_chunks_faults_and_coverage() {
+        let (net, outputs, inputs) = nor_fixture();
+        let faults = stuck_at_sites(&net);
+        let probe = Probe::new();
+        let sink = TraceSink::new();
+        let report = run_campaign_traced(
+            &net,
+            &outputs,
+            &inputs,
+            &faults,
+            &CampaignConfig {
+                workers: 2,
+                budget: RunBudget::UNLIMITED,
+            },
+            &probe,
+            &sink,
+        )
+        .unwrap();
+        // The report is unchanged by tracing.
+        let want = run_campaign(
+            &net,
+            &outputs,
+            &inputs,
+            &faults,
+            &CampaignConfig {
+                workers: 2,
+                budget: RunBudget::UNLIMITED,
+            },
+        )
+        .unwrap();
+        assert_eq!(report, want);
+        let snap = sink.snapshot();
+        // The golden run traced onto the `sim` track.
+        assert!(snap
+            .track("sim")
+            .is_some_and(|t| t.events.iter().any(|e| e.kind == EventKind::Run)));
+        // Each worker sealed one chunk span, one fault_run span per
+        // fault, and one coverage sample per detection; global fault
+        // indices across workers cover the whole list exactly once.
+        let mut fault_indices = Vec::new();
+        let mut detections = 0u32;
+        for w in 0..2 {
+            let track = snap.track(&format!("fault.w{w}")).unwrap();
+            let chunks: Vec<_> = track
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::Chunk)
+                .collect();
+            assert_eq!(chunks.len(), 1);
+            assert_eq!(chunks[0].a, w);
+            fault_indices.extend(
+                track
+                    .events
+                    .iter()
+                    .filter(|e| e.kind == EventKind::FaultRun)
+                    .map(|e| e.a),
+            );
+            detections += track
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::Coverage)
+                .count() as u32;
+        }
+        fault_indices.sort_unstable();
+        let want_indices: Vec<u32> = (0..faults.len() as u32).collect();
+        assert_eq!(fault_indices, want_indices);
+        assert_eq!(detections as usize, report.detected);
+        // Satellite: per-worker busy timers registered on the probe.
+        let preport = probe.report();
+        assert!(preport.get("fault.w0.busy").is_some());
+        assert!(preport.get("fault.w1.busy").is_some());
     }
 
     #[test]

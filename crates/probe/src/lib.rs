@@ -43,6 +43,15 @@
 //! views — a simulator result set — as a Value Change Dump for
 //! standard waveform viewers, mapping the workspace's parity-implied
 //! edge polarity to explicit `0`/`1` value changes.
+//!
+//! # Event tracing
+//!
+//! The [`trace`] module is the registry's timeline counterpart: a
+//! [`TraceSink`] of fixed-size POD [`TraceEvent`]s captured into
+//! preallocated per-track ring buffers under the same
+//! one-bool disabled-mode contract, exported as deterministic Chrome
+//! Trace Format JSON ([`TraceSnapshot::to_chrome_json`]) loadable by
+//! `chrome://tracing` and Perfetto.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,7 +59,9 @@
 pub mod json;
 mod metrics;
 mod report;
+pub mod trace;
 pub mod vcd;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Probe, SpanTimer};
 pub use report::{MetricValue, ProbeReport, ReportRow};
+pub use trace::{EventKind, TraceEvent, TraceSink, TraceSnapshot, TraceTrack, TrackSnapshot};

@@ -58,13 +58,13 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use mis_digital::{Network, SignalId, SignalSource, SimError};
-use mis_probe::Probe;
+use mis_probe::{Probe, TraceSink};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
 use crate::budget::{BudgetMeter, RunBudget};
 use crate::kernel::{self, FanoutCsr};
 use crate::overlay::{rewrite_span, TraceOverlay};
-use crate::probe::{census_index, SimCounters};
+use crate::probe::{census_index, SimCounters, SimTracer};
 
 /// A gate whose fan-ins are all sealed, keyed for the ready queue.
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +122,10 @@ pub struct Simulator<'n> {
     /// engines, so recording is compiled in unconditionally and the
     /// unprobed hot loop pays only local register updates.
     counters: SimCounters,
+    /// Timeline recorder on the `sim` trace track — disabled unless the
+    /// engine came from [`Simulator::new_traced`], same contract as
+    /// `counters`.
+    tracer: SimTracer,
 }
 
 impl<'n> Simulator<'n> {
@@ -133,7 +137,7 @@ impl<'n> Simulator<'n> {
     /// [`SimError::NetworkTooLarge`] when the network's signal or
     /// fan-out-edge count exceeds the engine's `u32` index width.
     pub fn new(net: &'n Network) -> Result<Self, SimError> {
-        Self::with_counters(net, SimCounters::disabled())
+        Self::with_instrumentation(net, SimCounters::disabled(), SimTracer::disabled())
     }
 
     /// [`Simulator::new`] with metrics recording into `probe`: every
@@ -146,10 +150,33 @@ impl<'n> Simulator<'n> {
     ///
     /// As [`Simulator::new`].
     pub fn new_probed(net: &'n Network, probe: &Probe) -> Result<Self, SimError> {
-        Self::with_counters(net, SimCounters::register(probe))
+        Self::with_instrumentation(net, SimCounters::register(probe), SimTracer::disabled())
     }
 
-    fn with_counters(net: &'n Network, counters: SimCounters) -> Result<Self, SimError> {
+    /// [`Simulator::new_probed`] plus timeline recording into `sink`:
+    /// every run seals a `run` span, a `gate` span per ready-queue pop
+    /// (signal index + output edges), a `seal` instant per input trace,
+    /// and a `budget` instant when a [`RunBudget`] limit trips — all on
+    /// the `sim` trace track, into the sink's preallocated ring buffer,
+    /// so traced warm runs stay allocation-free. Identical evaluation
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::new`].
+    pub fn new_traced(net: &'n Network, probe: &Probe, sink: &TraceSink) -> Result<Self, SimError> {
+        Self::with_instrumentation(
+            net,
+            SimCounters::register(probe),
+            SimTracer::register(sink, "sim"),
+        )
+    }
+
+    fn with_instrumentation(
+        net: &'n Network,
+        counters: SimCounters,
+        tracer: SimTracer,
+    ) -> Result<Self, SimError> {
         let n = net.signal_count();
         let csr = FanoutCsr::build(net)?;
         Ok(Simulator {
@@ -159,6 +186,7 @@ impl<'n> Simulator<'n> {
             span_of: vec![0; n],
             heap: BinaryHeap::with_capacity(n),
             counters,
+            tracer,
         })
     }
 
@@ -241,6 +269,7 @@ impl<'n> Simulator<'n> {
             });
         }
         let started = self.counters.start_run();
+        let run_started = self.tracer.start();
         let mut meter = BudgetMeter::start(budget);
         arena.reset();
         self.heap.clear();
@@ -257,6 +286,9 @@ impl<'n> Simulator<'n> {
                 }
             }
             self.span_of[i] = span as u32;
+            if self.tracer.is_enabled() {
+                self.tracer.seal(i as u32, arena.trace(span).len() as u32);
+            }
         }
         let mut sealed = inputs.len();
         for i in 0..inputs.len() {
@@ -272,10 +304,13 @@ impl<'n> Simulator<'n> {
             // always observed at a pop.
             heap_hw = heap_hw.max(self.heap.len() + 1);
             pops += 1;
-            meter.on_event()?;
+            self.tracer.guard(meter.on_event())?;
+            let gate_started = self.tracer.start();
             let s = signal as usize;
             dups += u64::from(self.eval(s, arena, overlay)?);
-            meter.on_edges(arena.trace(self.span_of[s] as usize).len() as u64)?;
+            let edges = arena.trace(self.span_of[s] as usize).len() as u64;
+            self.tracer.gate_span(gate_started, signal, edges as u32);
+            self.tracer.guard(meter.on_edges(edges))?;
             sealed += 1;
             self.notify_fanout(s, arena);
         }
@@ -286,6 +321,7 @@ impl<'n> Simulator<'n> {
         );
         self.counters
             .finish_run(started, pops, dups, heap_hw as u64);
+        self.tracer.run_span(run_started);
         if self.counters.is_enabled() {
             self.census(arena);
         }
@@ -539,6 +575,75 @@ mod tests {
         let want = Simulator::new(&net).unwrap().run(&inputs).unwrap();
         let got = sim.run(&inputs).unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn traced_engine_records_the_run_timeline() {
+        use mis_probe::{EventKind, Probe, TraceSink};
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        net.add_gate(
+            "nor",
+            GateKind::Nor,
+            &[a, b],
+            Some(Box::new(
+                InertialChannel::symmetric(ps(40.0), ps(30.0)).unwrap(),
+            )),
+        )
+        .unwrap();
+        let ta =
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(400.0), false)]).unwrap();
+        let inputs = [ta, DigitalTrace::constant(false)];
+        let probe = Probe::new();
+        let sink = TraceSink::new();
+        let mut sim = Simulator::new_traced(&net, &probe, &sink).unwrap();
+        let mut arena = TraceArena::new();
+        sim.run_in(&inputs, &mut arena).unwrap();
+        sim.run_in(&inputs, &mut arena).unwrap();
+        let snap = sink.snapshot();
+        let track = snap.track("sim").unwrap();
+        // Per run: two input seals, one gate span, one run span.
+        let count = |k: EventKind| track.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::Seal), 4);
+        assert_eq!(count(EventKind::Gate), 2);
+        assert_eq!(count(EventKind::Run), 2);
+        let gate = track
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Gate)
+            .unwrap();
+        assert_eq!(gate.a, 2, "gate span carries the NOR's signal index");
+        assert_eq!(gate.b, 2, "gate span carries the sealed edge count");
+        // Results are bit-identical to the untraced engine.
+        let want = Simulator::new(&net).unwrap().run(&inputs).unwrap();
+        assert_eq!(sim.run(&inputs).unwrap(), want);
+    }
+
+    #[test]
+    fn traced_engine_marks_budget_trips() {
+        use mis_probe::{EventKind, Probe, TraceSink};
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        net.add_gate("y", GateKind::Not, &[a], None).unwrap();
+        let probe = Probe::new();
+        let sink = TraceSink::new();
+        let mut sim = Simulator::new_traced(&net, &probe, &sink).unwrap();
+        let mut arena = TraceArena::new();
+        let budget = crate::RunBudget::UNLIMITED.with_max_events(0);
+        assert!(sim
+            .run_budgeted_in(&[DigitalTrace::constant(false)], &mut arena, &budget)
+            .is_err());
+        let snap = sink.snapshot();
+        let track = snap.track("sim").unwrap();
+        let trip = track
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Budget)
+            .expect("budget instant recorded");
+        assert_eq!(trip.a, 0, "events resource code");
+        // The aborted run seals no run span.
+        assert!(!track.events.iter().any(|e| e.kind == EventKind::Run));
     }
 
     #[test]

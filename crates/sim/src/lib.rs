@@ -77,4 +77,4 @@ pub use error::BenchError;
 pub use kernel::ENGINE_INDEX_MAX;
 pub use overlay::TraceOverlay;
 pub use parallel::ParallelSimulator;
-pub use probe::SimCounters;
+pub use probe::{SimCounters, SimTracer};

@@ -57,12 +57,13 @@
 //! ```
 
 use mis_digital::{ChannelCounters, Network, SignalId, SignalSource, SimError};
-use mis_probe::{Gauge, Probe, SpanTimer};
+use mis_probe::{Gauge, Probe, SpanTimer, TraceSink};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
 use crate::budget::{BudgetMeter, RunBudget};
 use crate::kernel::{self, FanoutCsr};
 use crate::overlay::{rewrite_span, TraceOverlay};
+use crate::probe::SimTracer;
 
 /// A fixed-size bit set over signal indices — the working representation
 /// of fan-in cones and worker unions during partitioning.
@@ -175,6 +176,10 @@ struct Worker {
     /// Channel-event sink for this worker's kernel calls (all workers
     /// share the one `chan.*` cell set; counters are cumulative).
     chan: ChannelCounters,
+    /// Timeline recorder on this worker's `par.w<i>` trace track —
+    /// disabled unless the engine came from
+    /// [`ParallelSimulator::new_traced`].
+    tracer: SimTracer,
 }
 
 impl Worker {
@@ -196,7 +201,9 @@ impl Worker {
         overlay: Option<&dyn TraceOverlay>,
     ) -> Result<(), SimError> {
         let started = self.busy.start();
+        let busy_started = self.tracer.start();
         let result = self.evaluate_inner(net, inputs, budget, overlay);
+        self.tracer.busy_span(busy_started);
         self.busy.stop(started);
         result
     }
@@ -215,17 +222,18 @@ impl Worker {
             let id = net.signal_id(s).expect("s < signal_count");
             let source = net.source(id);
             let is_input = matches!(source, SignalSource::Input);
+            let gate_started = if is_input { None } else { self.tracer.start() };
             let mut span = if is_input {
                 self.arena.push_trace(&inputs[s])
             } else if let Some((src, invert)) = kernel::duplicate_shortcut(&source) {
                 // Channel-less unary gate: a span copy in the flat
                 // array, the same fast path as the serial engine (one
                 // shared predicate decides it for both).
-                meter.on_event()?;
+                self.tracer.guard(meter.on_event())?;
                 self.arena
                     .push_duplicate(self.span_of[src.index()] as usize, invert)
             } else {
-                meter.on_event()?;
+                self.tracer.guard(meter.on_event())?;
                 let span_of = &self.span_of;
                 let chan = &self.chan;
                 let (sealed, out, scratch) = self.arena.stage();
@@ -243,8 +251,15 @@ impl Worker {
                     span = rewrite_span(&mut self.arena, span, id, ov)?;
                 }
             }
-            if !is_input {
-                meter.on_edges(self.arena.trace(span).len() as u64)?;
+            if is_input {
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .seal(s as u32, self.arena.trace(span).len() as u32);
+                }
+            } else {
+                let edges = self.arena.trace(span).len() as u64;
+                self.tracer.gate_span(gate_started, s as u32, edges as u32);
+                self.tracer.guard(meter.on_edges(edges))?;
             }
             // Lossless: construction checked the signal count fits u32,
             // and a worker seals at most one span per signal per run.
@@ -274,6 +289,10 @@ pub struct ParallelSimulator<'n> {
     assigned: Gauge,
     /// Span of the signal-order merge, `par.merge`.
     merge: SpanTimer,
+    /// Timeline recorder on the coordinator's `par` trace track (run +
+    /// merge spans) — disabled unless built by
+    /// [`ParallelSimulator::new_traced`].
+    tracer: SimTracer,
 }
 
 impl<'n> ParallelSimulator<'n> {
@@ -307,6 +326,34 @@ impl<'n> ParallelSimulator<'n> {
     ///
     /// As [`ParallelSimulator::new`].
     pub fn new_probed(net: &'n Network, workers: usize, probe: &Probe) -> Result<Self, SimError> {
+        Self::build(net, workers, probe, &TraceSink::disabled())
+    }
+
+    /// [`ParallelSimulator::new_probed`] plus timeline recording into
+    /// `sink`: one `par.w<i>` trace track per worker (busy spans,
+    /// per-gate spans, input seals, budget instants) and a `par` track
+    /// for the coordinator's run and merge spans — the one-row-per-worker
+    /// timeline. Identical evaluation semantics; traced warm runs stay
+    /// allocation-free (preallocated rings only).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelSimulator::new`].
+    pub fn new_traced(
+        net: &'n Network,
+        workers: usize,
+        probe: &Probe,
+        sink: &TraceSink,
+    ) -> Result<Self, SimError> {
+        Self::build(net, workers, probe, sink)
+    }
+
+    fn build(
+        net: &'n Network,
+        workers: usize,
+        probe: &Probe,
+        sink: &TraceSink,
+    ) -> Result<Self, SimError> {
         if workers == 0 {
             return Err(SimError::Network {
                 reason: "parallel evaluation needs at least one worker".into(),
@@ -356,6 +403,7 @@ impl<'n> ParallelSimulator<'n> {
                     busy: probe.timer(&format!("par.w{w}.busy")),
                     load,
                     chan: chan.clone(),
+                    tracer: SimTracer::register_worker(sink, "par", w as u32),
                     signals,
                     span_of: vec![0; n],
                     arena: TraceArena::new(),
@@ -374,6 +422,7 @@ impl<'n> ParallelSimulator<'n> {
             owner,
             assigned,
             merge: probe.timer("par.merge"),
+            tracer: SimTracer::register(sink, "par"),
         })
     }
 
@@ -479,6 +528,7 @@ impl<'n> ParallelSimulator<'n> {
                 ),
             });
         }
+        let run_started = self.tracer.start();
         let net = self.net;
         let (first, rest) = self
             .workers
@@ -502,12 +552,15 @@ impl<'n> ParallelSimulator<'n> {
             result
         })?;
         let merge_started = self.merge.start();
+        let merge_trace_started = self.tracer.start();
         arena.reset();
         for s in 0..net.signal_count() {
             let w = &self.workers[self.owner[s] as usize];
             arena.push_view(w.arena.trace(w.span_of[s] as usize));
         }
+        self.tracer.merge_span(merge_trace_started);
         self.merge.stop(merge_started);
+        self.tracer.run_span(run_started);
         Ok(())
     }
 
@@ -656,6 +709,41 @@ mod tests {
         match report.get("par.w0.busy").unwrap() {
             MetricValue::Timer { count, .. } => assert_eq!(*count, 1),
             other => panic!("par.w0.busy should be a timer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_engine_records_one_track_per_worker() {
+        use mis_probe::{EventKind, Probe, TraceSink};
+        let (net, y, z) = two_cone_net();
+        let inputs = vec![
+            pulse(ps(100.0), ps(400.0)),
+            pulse(ps(250.0), ps(600.0)),
+            pulse(ps(90.0), ps(115.0)),
+        ];
+        let probe = Probe::new();
+        let sink = TraceSink::new();
+        let mut par = ParallelSimulator::new_traced(&net, 2, &probe, &sink).unwrap();
+        let got = par.run(&inputs).unwrap();
+        let want = crate::Simulator::new(&net).unwrap().run(&inputs).unwrap();
+        assert_eq!(got, want, "tracing must not disturb the results");
+        assert_eq!(got[y.index()], want[y.index()]);
+        assert_eq!(got[z.index()], want[z.index()]);
+        let snap = sink.snapshot();
+        // The coordinator track seals a run and a merge span; each
+        // worker track seals a busy span and its gate spans.
+        let par_track = snap.track("par").unwrap();
+        assert!(par_track.events.iter().any(|e| e.kind == EventKind::Run));
+        assert!(par_track.events.iter().any(|e| e.kind == EventKind::Merge));
+        for w in 0..2u32 {
+            let track = snap.track(&format!("par.w{w}")).unwrap();
+            let busy = track
+                .events
+                .iter()
+                .find(|e| e.kind == EventKind::Busy)
+                .expect("busy span per worker");
+            assert_eq!(busy.a, w);
+            assert!(track.events.iter().any(|e| e.kind == EventKind::Gate));
         }
     }
 

@@ -15,8 +15,10 @@
 //! the event loop — so it costs the hot loop literally zero and the
 //! disabled mode skips the walk entirely.
 
-use mis_digital::{ChannelCounters, SignalSource};
-use mis_probe::{Counter, Gauge, Histogram, Probe, SpanTimer};
+use std::cell::Cell;
+
+use mis_digital::{BudgetResource, ChannelCounters, SignalSource, SimError};
+use mis_probe::{Counter, EventKind, Gauge, Histogram, Probe, SpanTimer, TraceSink, TraceTrack};
 
 /// Edge-census classes, indexed by [`census_index`]: one per gate kind
 /// plus primary inputs and the two-input MIS channel gates.
@@ -178,6 +180,123 @@ impl SimCounters {
     }
 }
 
+/// The engine's timeline recorder: a typed wrapper over one
+/// [`mis_probe::TraceSink`] track that the traced entry points record
+/// run spans, per-gate evaluation spans, input-seal instants and
+/// budget-trip instants into. Engines built without a sink carry a
+/// [`SimTracer::disabled`] tracer, whose record calls reduce to one
+/// branch on a pre-loaded flag — no clock reads — exactly the
+/// [`SimCounters`] contract, so tracing is compiled in unconditionally.
+///
+/// Recording writes into the track's preallocated ring buffer, so a
+/// traced warm run stays allocation-free (asserted in
+/// `crates/sim/tests/alloc.rs`).
+#[derive(Debug, Clone)]
+pub struct SimTracer {
+    track: TraceTrack,
+    /// The `a` payload of [`EventKind::Busy`] spans: the worker index
+    /// for per-worker tracks, 0 for engine-level tracks.
+    id: u32,
+    /// Completed-run ordinal, the `a` payload of [`EventKind::Run`]
+    /// spans. A `Cell` because each tracer is owned by one engine (and
+    /// recorded from one thread at a time).
+    runs: Cell<u32>,
+}
+
+impl SimTracer {
+    /// Opens (or re-opens) the track `name` on `sink`.
+    #[must_use]
+    pub fn register(sink: &TraceSink, name: &str) -> Self {
+        SimTracer {
+            track: sink.track(name),
+            id: 0,
+            runs: Cell::new(0),
+        }
+    }
+
+    /// A per-worker tracer: the track `{prefix}.w{worker}`, with `worker`
+    /// carried as the busy-span payload.
+    #[must_use]
+    pub fn register_worker(sink: &TraceSink, prefix: &str, worker: u32) -> Self {
+        SimTracer {
+            track: sink.track(&format!("{prefix}.w{worker}")),
+            id: worker,
+            runs: Cell::new(0),
+        }
+    }
+
+    /// A tracer on a fresh disabled sink — what the untraced
+    /// constructors own. Record calls are branch-only no-ops.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::register(&TraceSink::disabled(), "sim")
+    }
+
+    /// Whether records actually land anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.track.is_enabled()
+    }
+
+    /// Opens a span (None when disabled — no clock read).
+    #[inline]
+    pub(crate) fn start(&self) -> Option<u64> {
+        self.track.start()
+    }
+
+    /// Seals a completed run: one [`EventKind::Run`] span carrying the
+    /// tracer-local run ordinal.
+    pub(crate) fn run_span(&self, started: Option<u64>) {
+        if started.is_some() {
+            let run = self.runs.get();
+            self.track.span(EventKind::Run, run, 0, started);
+            self.runs.set(run.wrapping_add(1));
+        }
+    }
+
+    /// Seals one gate evaluation: an [`EventKind::Gate`] span carrying
+    /// the signal index and its sealed output-edge count.
+    #[inline]
+    pub(crate) fn gate_span(&self, started: Option<u64>, signal: u32, edges: u32) {
+        self.track.span(EventKind::Gate, signal, edges, started);
+    }
+
+    /// Seals one worker busy interval ([`EventKind::Busy`], payload =
+    /// the registered worker index).
+    pub(crate) fn busy_span(&self, started: Option<u64>) {
+        self.track.span(EventKind::Busy, self.id, 0, started);
+    }
+
+    /// Seals the parallel merge ([`EventKind::Merge`]).
+    pub(crate) fn merge_span(&self, started: Option<u64>) {
+        self.track.span(EventKind::Merge, 0, 0, started);
+    }
+
+    /// Records an input span sealed into the arena
+    /// ([`EventKind::Seal`] instant).
+    #[inline]
+    pub(crate) fn seal(&self, signal: u32, edges: u32) {
+        self.track.instant(EventKind::Seal, signal, edges);
+    }
+
+    /// Passes a budget-meter result through, recording an
+    /// [`EventKind::Budget`] instant (payload = resource code) when it
+    /// tripped — how the event loops mark trips on the timeline without
+    /// disturbing error propagation.
+    #[inline]
+    pub(crate) fn guard<T>(&self, r: Result<T, SimError>) -> Result<T, SimError> {
+        if let Err(SimError::BudgetExceeded { resource, .. }) = &r {
+            let code = match resource {
+                BudgetResource::Events => 0,
+                BudgetResource::Edges => 1,
+                BudgetResource::Deadline => 2,
+            };
+            self.track.instant(EventKind::Budget, code, 0);
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +323,67 @@ mod tests {
         c.census(2, 100);
         assert_eq!(c.events_popped(), 0);
         assert_eq!(c.heap_high_water(), 0);
+    }
+
+    #[test]
+    fn tracer_records_runs_gates_and_budget_trips() {
+        let sink = TraceSink::new();
+        let t = SimTracer::register(&sink, "sim");
+        assert!(t.is_enabled());
+        let run = t.start();
+        t.gate_span(t.start(), 4, 2);
+        t.seal(0, 3);
+        t.run_span(run);
+        t.run_span(t.start());
+        let err: Result<(), SimError> = Err(SimError::BudgetExceeded {
+            resource: BudgetResource::Edges,
+            limit: 5,
+        });
+        assert!(t.guard(err).is_err());
+        assert!(t.guard(Ok(())).is_ok());
+        let snap = sink.snapshot();
+        let track = snap.track("sim").unwrap();
+        let kinds: Vec<EventKind> = track.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Gate,
+                EventKind::Seal,
+                EventKind::Run,
+                EventKind::Run,
+                EventKind::Budget
+            ]
+        );
+        // Run ordinals increment; the budget instant carries the
+        // resource code (edges = 1); a passing guard records nothing.
+        assert_eq!(track.events[2].a, 0);
+        assert_eq!(track.events[3].a, 1);
+        assert_eq!(track.events[4].a, 1);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = SimTracer::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.start(), None);
+        t.run_span(t.start());
+        t.gate_span(None, 1, 1);
+        let err: Result<(), SimError> = Err(SimError::BudgetExceeded {
+            resource: BudgetResource::Events,
+            limit: 0,
+        });
+        assert!(t.guard(err).is_err(), "guard still propagates");
+    }
+
+    #[test]
+    fn worker_tracer_names_its_track_and_carries_its_index() {
+        let sink = TraceSink::new();
+        let t = SimTracer::register_worker(&sink, "par", 3);
+        t.busy_span(t.start());
+        let snap = sink.snapshot();
+        let track = snap.track("par.w3").unwrap();
+        assert_eq!(track.events[0].kind, EventKind::Busy);
+        assert_eq!(track.events[0].a, 3);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 
 use mis_charlib::CharLib;
 use mis_digital::InertialChannel;
-use mis_probe::Probe;
+use mis_probe::{Probe, TraceSink};
 use mis_sim::{BenchNetlist, CellLibrary, Simulator};
 use mis_testkit::alloc::{self, CountingAllocator};
 use mis_waveform::generate::{Assignment, TraceConfig};
@@ -130,6 +130,45 @@ fn warm_probed_simulator_run_in_is_allocation_free_and_counts_events() {
             "{file}: per-run pop count is reproducible"
         );
         assert_eq!(sim.counters().runs(), 6, "{file}: six runs recorded");
+    }
+}
+
+#[test]
+fn warm_traced_simulator_run_in_is_allocation_free() {
+    // Tracing is held to the same bar as the probe: with a *live*
+    // TraceSink attached, a warm run writes every run/gate/seal event
+    // into the track's ring buffer — preallocated at registration, so
+    // the steady state allocates nothing. (The ring wraps rather than
+    // grow: "allocation-bounded" means bounded at construction.)
+    let cells = committed_cells();
+    for (file, seed) in [
+        ("c432.bench", 0x432),
+        ("c880.bench", 0x880),
+        ("c17.bench", 0xC17),
+    ] {
+        let lowered = fixture(file).lower(&cells).expect("lowering");
+        let inputs = traffic(lowered.inputs.len(), seed);
+        let probe = Probe::new();
+        let sink = TraceSink::new();
+        let mut sim =
+            Simulator::new_traced(&lowered.net, &probe, &sink).expect("engine construction");
+        let mut arena = TraceArena::new();
+        sim.run_in(&inputs, &mut arena).expect("warm-up run");
+        let (allocations, ()) = alloc::count_in(|| {
+            for _ in 0..5 {
+                sim.run_in(&inputs, &mut arena).expect("steady-state run");
+            }
+        });
+        assert_eq!(
+            allocations, 0,
+            "{file}: steady-state traced run_in allocated {allocations} times"
+        );
+        let snap = sink.snapshot();
+        let track = snap.track("sim").expect("sim track registered");
+        assert!(
+            !track.events.is_empty(),
+            "{file}: traced runs recorded events"
+        );
     }
 }
 

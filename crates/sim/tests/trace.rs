@@ -1,0 +1,117 @@
+//! Chrome-trace export over a real netlist: a golden-file pin of the
+//! C17 timeline and structural checks on the traced serial engine.
+//!
+//! The golden file (`tests/golden/c17.trace.json`) freezes the exact
+//! byte output of [`mis_probe::TraceSnapshot::to_chrome_json`] — after
+//! [`mis_probe::trace::normalize_timestamps`] rewrites every `ts`/`dur`
+//! to `0.000` — for the committed C17 fixture under deterministic
+//! inertial cells and the same hand-written stimulus the VCD golden
+//! uses. Everything except wall-clock timing is deterministic: track
+//! layout, metadata, event order, event names, phases and args (signal
+//! indices, edge counts, run ordinals). Any change to the exporter's
+//! field layout, the engine's event sequence, or the seal/gate-span
+//! recording points shows up as a diff against a file a human has
+//! inspected in a trace viewer. Re-bless with `BLESS=1` after
+//! inspecting the new timeline.
+
+use std::path::PathBuf;
+
+use mis_digital::InertialChannel;
+use mis_probe::trace::normalize_timestamps;
+use mis_probe::{Probe, TraceSink};
+use mis_sim::{BenchNetlist, CellLibrary, Simulator};
+use mis_waveform::units::ps;
+use mis_waveform::{DigitalTrace, TraceArena};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The committed C17 fixture under symmetric inertial cells — the same
+/// deterministic lowering the VCD golden pins.
+fn c17_lowered() -> mis_sim::LoweredNetlist {
+    let text =
+        std::fs::read_to_string(workspace_root().join("data/bench/c17.bench")).expect("fixture");
+    let cells =
+        CellLibrary::inertial(InertialChannel::symmetric(ps(50.0), ps(38.0)).expect("channel"));
+    BenchNetlist::parse(&text)
+        .expect("fixture parses")
+        .lower(&cells)
+        .expect("lowering")
+}
+
+/// The VCD golden's hand-written five-input stimulus, reused verbatim
+/// so the two golden files pin the same run.
+fn c17_stimulus() -> Vec<DigitalTrace> {
+    let edges = |times: &[f64]| -> Vec<(f64, bool)> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| (t, k % 2 == 0))
+            .collect()
+    };
+    vec![
+        DigitalTrace::with_edges(false, edges(&[ps(100.0), ps(400.0)])).unwrap(),
+        DigitalTrace::with_edges(true, {
+            let mut e = edges(&[ps(150.0), ps(500.0)]);
+            for p in &mut e {
+                p.1 = !p.1;
+            }
+            e
+        })
+        .unwrap(),
+        DigitalTrace::with_edges(false, edges(&[ps(200.0), ps(230.0), ps(600.0)])).unwrap(),
+        DigitalTrace::constant(true),
+        DigitalTrace::with_edges(false, edges(&[ps(350.0)])).unwrap(),
+    ]
+}
+
+/// Runs the traced serial engine once over the fixture and returns the
+/// timestamp-normalized Chrome Trace JSON.
+fn traced_c17_dump() -> String {
+    let lowered = c17_lowered();
+    let sink = TraceSink::new();
+    let mut sim = Simulator::new_traced(&lowered.net, &Probe::disabled(), &sink).expect("engine");
+    let mut arena = TraceArena::new();
+    sim.run_in(&c17_stimulus(), &mut arena).expect("run");
+    let json = sink.snapshot().to_chrome_json();
+    assert!(mis_probe::json::is_wellformed(&json), "{json}");
+    normalize_timestamps(&json)
+}
+
+#[test]
+fn c17_trace_matches_the_committed_golden_file() {
+    let got = traced_c17_dump();
+    let golden_path = workspace_root().join("crates/sim/tests/golden/c17.trace.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect("committed golden file");
+    assert_eq!(
+        got,
+        want,
+        "C17 chrome trace drifted from {}; if the change is intentional, \
+         load the new timeline in a trace viewer and re-commit it",
+        golden_path.display()
+    );
+}
+
+#[test]
+fn c17_trace_is_byte_deterministic_after_normalization() {
+    assert_eq!(traced_c17_dump(), traced_c17_dump());
+}
+
+#[test]
+fn c17_trace_carries_the_pinned_event_census() {
+    // The same engine behavior the sim_profile --expect CI gate pins
+    // (6 gate evaluations on C17), seen from the timeline side: one
+    // run span, one gate span per evaluation, one seal instant per
+    // primary-input edge batch.
+    let dump = traced_c17_dump();
+    let count = |needle: &str| dump.matches(needle).count();
+    assert_eq!(count("\"name\":\"run\""), 1);
+    assert_eq!(count("\"name\":\"gate\""), 6);
+    assert_eq!(count("\"name\":\"seal\""), 5, "five primary inputs");
+    assert_eq!(count("\"ph\":\"M\""), 2, "process_name + one thread_name");
+}

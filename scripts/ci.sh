@@ -86,6 +86,28 @@ if [[ "${CI_BENCH:-0}" != "0" ]]; then
     cargo run --release -q -p mis-bench --bin fault_sim --offline -- --json --glitches 24 \
         --expect fault.injected=1164,fault.detected=1049,fault.budget_trips=0 \
         data/bench/c880.bench > /dev/null
+    # Timeline-tracing smoke: both binaries export a Chrome Trace JSON
+    # timeline (self-validated by mis_probe::json::is_wellformed before
+    # writing — a malformed export exits non-zero and fails this gate),
+    # and sim_profile additionally joins the timeline against the
+    # static level table (per-level attribution + level.* histograms).
+    # The byte-level format pin lives in crates/sim/tests/trace.rs
+    # (golden C17 chrome trace, timestamp-normalized).
+    echo "== timeline-tracing smoke (sim_profile/fault_sim --trace)"
+    trace_scratch="$(mktemp -d)"
+    trap 'rm -rf "$trace_scratch"' EXIT
+    cargo run --release -q -p mis-bench --bin sim_profile --offline -- \
+        --trace "$trace_scratch/c17.trace.json" data/bench/c17.bench > /dev/null
+    cargo run --release -q -p mis-bench --bin fault_sim --offline -- \
+        --trace "$trace_scratch/c17.fault.trace.json" data/bench/c17.bench > /dev/null
+    # Bench-history smoke: the --history mode appends one self-validated
+    # JSON line per committed baseline to a scratch log (the committed
+    # trajectory lives in BENCH_HISTORY.jsonl; append a real record with
+    # `bench_diff --history BENCH_HISTORY.jsonl --env <tag> BENCH_*.json`
+    # whenever the baselines are refreshed).
+    echo "== bench-history smoke (bench_diff --history)"
+    cargo run --release -q -p mis-bench --bin bench_diff --offline -- \
+        --history "$trace_scratch/history.jsonl" --env ci-smoke BENCH_*.json > /dev/null
     # Differential-fuzz smoke: a bounded run of the mis-fault harness
     # (random bounded-channel circuits; serial-vs-parallel bit-identity,
     # faulted-STA soundness, graceful budget trips on both engines).
