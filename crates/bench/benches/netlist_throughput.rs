@@ -20,6 +20,11 @@
 //! * `parN` ids — `mis_sim::ParallelSimulator::run_in` with N workers,
 //!   the per-cone engine (scoped thread spawns timed; worker arenas
 //!   warm), bit-identical to `sim` by the property suite.
+//! * `wavefrontN` ids — `mis_sim::WavefrontSimulator::run_in` with N
+//!   workers at the default cutover: level-sliced parallel fronts with
+//!   a hybrid serial tail, every gate computed exactly once
+//!   (replication 1.0, vs the per-cone engine's overlap recomputation),
+//!   bit-identical to `sim` by the same property suite.
 //!
 //! Circuits: the eight-stage reconvergent NOR chain and the ISCAS-85
 //! C17 cut (from `mis_digital::netlists`), the depth-4 inverter tree,
@@ -42,7 +47,7 @@ use std::path::PathBuf;
 use mis_charlib::CharLib;
 use mis_digital::netlists::{self, CachedHybridFactory, ChannelPerGate};
 use mis_digital::{GateKind, InertialChannel, Network, TraceTransform};
-use mis_sim::{BenchNetlist, CellLibrary, ParallelSimulator, Simulator};
+use mis_sim::{BenchNetlist, CellLibrary, ParallelSimulator, Simulator, WavefrontSimulator};
 use mis_testkit::bench::Harness;
 use mis_waveform::generate::{Assignment, TraceConfig};
 use mis_waveform::units::ps;
@@ -154,6 +159,28 @@ fn bench_par(
     par.run_in(inputs, arena).expect("warm-up run");
     h.bench(id, move || {
         par.run_in(inputs, arena).expect("parallel run");
+        arena.total_edges()
+    });
+}
+
+/// Benchmarks one level-sliced wavefront evaluation at the default
+/// cutover: wide fronts fan out over scoped threads (spawns inside the
+/// timed region, as in `bench_par`), narrow tails run serially on the
+/// calling thread. Unlike the per-cone engine this computes every gate
+/// exactly once, so the gap to the `parN` twin is cone-overlap
+/// recomputation plus the different barrier structure.
+fn bench_wave(
+    h: &mut Harness,
+    arena: &mut TraceArena,
+    id: &str,
+    net: &Network,
+    inputs: &[DigitalTrace],
+    workers: usize,
+) {
+    let mut wave = WavefrontSimulator::new(net, workers).expect("levelization");
+    wave.run_in(inputs, arena).expect("warm-up run");
+    h.bench(id, move || {
+        wave.run_in(inputs, arena).expect("wavefront run");
         arena.total_edges()
     });
 }
@@ -290,6 +317,19 @@ fn main() {
         &c432_in,
     );
 
+    // The wavefront tier on C432: level-sliced fronts with the hybrid
+    // serial tail, exact-once evaluation at every worker count.
+    for workers in [2usize, 4] {
+        bench_wave(
+            &mut h,
+            &mut arena,
+            &format!("c432_cached/wavefront{workers}"),
+            &c432_cached.net,
+            &c432_in,
+            workers,
+        );
+    }
+
     bench_run_in(
         &mut h,
         &mut arena,
@@ -322,6 +362,16 @@ fn main() {
                 &mut h,
                 &mut arena,
                 &format!("c880_{tag}/par{workers}"),
+                &lowered.net,
+                &c880_in,
+                workers,
+            );
+        }
+        for workers in [2usize, 4] {
+            bench_wave(
+                &mut h,
+                &mut arena,
+                &format!("c880_{tag}/wavefront{workers}"),
                 &lowered.net,
                 &c880_in,
                 workers,

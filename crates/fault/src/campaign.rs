@@ -8,9 +8,12 @@
 //! count changes only wall-clock time. The argument has three legs:
 //!
 //! 1. **Per-fault determinism.** Each fault is evaluated by a private
-//!    serial [`Simulator`] under a [`FaultOverlay`]; the engine is
-//!    deterministic and the overlay is a pure rewrite, so a fault's
-//!    outcome does not depend on which worker runs it or when.
+//!    replay engine — the serial [`Simulator`] by default, or the
+//!    level-sliced [`WavefrontSimulator`] via
+//!    [`CampaignEngine::Wavefront`] — under a [`FaultOverlay`]; both
+//!    engines are deterministic and bit-identical, and the overlay is a
+//!    pure rewrite, so a fault's outcome depends on neither the worker
+//!    that runs it nor the engine that replays it.
 //! 2. **Fixed partition.** Faults are split into contiguous chunks
 //!    (`chunks` / `chunks_mut`), and each worker writes outcomes only
 //!    into its own chunk of the result vector — no shared accumulator
@@ -27,13 +30,34 @@
 
 use mis_digital::{Network, SignalId, SimError};
 use mis_probe::{EventKind, Probe, TraceSink};
-use mis_sim::{RunBudget, Simulator};
+use mis_sim::{RunBudget, Simulator, TraceOverlay, WavefrontSimulator};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
 use crate::error::FaultError;
 use crate::site::{FaultOverlay, FaultSite};
 
-/// How a campaign runs: worker count and the per-run budget.
+/// Which simulation engine each campaign worker replays faults on.
+///
+/// Both engines are bit-identical, so the choice changes only
+/// wall-clock time, never the report — pinned by
+/// `report_is_identical_on_the_wavefront_engine`. The wavefront option
+/// nests its level-parallel threads *inside* each campaign worker, so
+/// it pays off on deep circuits with few faults per worker; the serial
+/// default wins when the fault list itself supplies the parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignEngine {
+    /// The serial event-queue [`Simulator`] (default).
+    Serial,
+    /// The level-sliced [`WavefrontSimulator`] with this many
+    /// level-parallel threads per campaign worker (≥ 1).
+    Wavefront {
+        /// Level-parallel threads inside each campaign worker.
+        workers: usize,
+    },
+}
+
+/// How a campaign runs: worker count, per-run budget, and the replay
+/// engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignConfig {
     /// Worker threads evaluating faults (≥ 1; the report is identical
@@ -42,6 +66,9 @@ pub struct CampaignConfig {
     /// Budget each faulty run is held to; a tripped run records
     /// [`FaultOutcome::BudgetTripped`] instead of failing the campaign.
     pub budget: RunBudget,
+    /// Engine each worker replays faults on; the report is identical
+    /// for every choice.
+    pub engine: CampaignEngine,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +76,47 @@ impl Default for CampaignConfig {
         CampaignConfig {
             workers: 1,
             budget: RunBudget::UNLIMITED,
+            engine: CampaignEngine::Serial,
+        }
+    }
+}
+
+/// One campaign worker's private replay engine: either serial or
+/// wavefront, behind one dispatch point so the fault loop stays
+/// engine-agnostic. Both variants share the `run_controlled_in` /
+/// `trace` surface.
+enum ReplaySim<'n> {
+    Serial(Box<Simulator<'n>>),
+    Wavefront(Box<WavefrontSimulator<'n>>),
+}
+
+impl<'n> ReplaySim<'n> {
+    fn build(net: &'n Network, engine: CampaignEngine) -> Result<Self, SimError> {
+        Ok(match engine {
+            CampaignEngine::Serial => ReplaySim::Serial(Box::new(Simulator::new(net)?)),
+            CampaignEngine::Wavefront { workers } => {
+                ReplaySim::Wavefront(Box::new(WavefrontSimulator::new(net, workers)?))
+            }
+        })
+    }
+
+    fn run_controlled_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+        budget: &RunBudget,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(), SimError> {
+        match self {
+            ReplaySim::Serial(sim) => sim.run_controlled_in(inputs, arena, budget, overlay),
+            ReplaySim::Wavefront(sim) => sim.run_controlled_in(inputs, arena, budget, overlay),
+        }
+    }
+
+    fn trace<'a>(&self, arena: &'a TraceArena, id: SignalId) -> TraceRef<'a> {
+        match self {
+            ReplaySim::Serial(sim) => sim.trace(arena, id),
+            ReplaySim::Wavefront(sim) => sim.trace(arena, id),
         }
     }
 }
@@ -180,6 +248,11 @@ pub fn run_campaign_traced(
             reason: "campaign needs at least one worker".into(),
         });
     }
+    if matches!(config.engine, CampaignEngine::Wavefront { workers: 0 }) {
+        return Err(FaultError::Invalid {
+            reason: "wavefront replay engine needs at least one worker".into(),
+        });
+    }
     // The golden run: fault-free, unbudgeted, serial. Output traces are
     // materialized once and shared read-only with every worker. It
     // traces onto the `sim` track (with a detached counter bundle, so
@@ -219,7 +292,7 @@ pub fn run_campaign_traced(
                     let mut detected_here = 0u32;
                     // One engine and one warm arena per worker, reused
                     // across every fault in the chunk.
-                    let mut sim = Simulator::new(net)?;
+                    let mut sim = ReplaySim::build(net, config.engine)?;
                     let mut arena = TraceArena::new();
                     for (j, (site, slot)) in sites.iter().zip(slots.iter_mut()).enumerate() {
                         let overlay = FaultOverlay::new(*site);
@@ -412,6 +485,7 @@ mod tests {
             &CampaignConfig {
                 workers: 1,
                 budget: RunBudget::UNLIMITED,
+                engine: CampaignEngine::Serial,
             },
         )
         .unwrap();
@@ -424,11 +498,59 @@ mod tests {
                 &CampaignConfig {
                     workers,
                     budget: RunBudget::UNLIMITED,
+                    engine: CampaignEngine::Serial,
                 },
             )
             .unwrap();
             assert_eq!(report, baseline, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn report_is_identical_on_the_wavefront_engine() {
+        let (net, outputs, inputs) = nor_fixture();
+        let faults = stuck_at_sites(&net);
+        let baseline =
+            run_campaign(&net, &outputs, &inputs, &faults, &CampaignConfig::default()).unwrap();
+        for campaign_workers in [1, 3] {
+            for engine_workers in [1, 4] {
+                let report = run_campaign(
+                    &net,
+                    &outputs,
+                    &inputs,
+                    &faults,
+                    &CampaignConfig {
+                        workers: campaign_workers,
+                        budget: RunBudget::UNLIMITED,
+                        engine: CampaignEngine::Wavefront {
+                            workers: engine_workers,
+                        },
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    report, baseline,
+                    "{campaign_workers} campaign workers x {engine_workers} engine workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_wavefront_workers_is_invalid() {
+        let (net, outputs, inputs) = nor_fixture();
+        let err = run_campaign(
+            &net,
+            &outputs,
+            &inputs,
+            &[],
+            &CampaignConfig {
+                engine: CampaignEngine::Wavefront { workers: 0 },
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FaultError::Invalid { .. }));
     }
 
     #[test]
@@ -443,6 +565,7 @@ mod tests {
             &CampaignConfig {
                 workers: 2,
                 budget: RunBudget::UNLIMITED.with_max_events(0),
+                engine: CampaignEngine::Serial,
             },
         )
         .unwrap();
@@ -465,6 +588,7 @@ mod tests {
             &CampaignConfig {
                 workers: 0,
                 budget: RunBudget::UNLIMITED,
+                engine: CampaignEngine::Serial,
             },
         )
         .unwrap_err();
@@ -485,6 +609,7 @@ mod tests {
             &CampaignConfig {
                 workers: 2,
                 budget: RunBudget::UNLIMITED,
+                engine: CampaignEngine::Serial,
             },
             &probe,
             &sink,
@@ -499,6 +624,7 @@ mod tests {
             &CampaignConfig {
                 workers: 2,
                 budget: RunBudget::UNLIMITED,
+                engine: CampaignEngine::Serial,
             },
         )
         .unwrap();

@@ -62,8 +62,8 @@ pub mod fuzz;
 pub mod site;
 
 pub use campaign::{
-    run_campaign, run_campaign_probed, run_campaign_traced, CampaignConfig, CampaignReport,
-    FaultOutcome, FaultResult,
+    run_campaign, run_campaign_probed, run_campaign_traced, CampaignConfig, CampaignEngine,
+    CampaignReport, FaultOutcome, FaultResult,
 };
 pub use error::FaultError;
 pub use fuzz::{fuzz_differential, FuzzConfig, FuzzReport};

@@ -74,6 +74,9 @@ pub enum EventKind {
     Busy,
     /// The parallel engine's signal-order merge (span).
     Merge,
+    /// One wavefront level evaluated (span; `a` = level, `b` = level
+    /// width in signals).
+    Level,
     /// A fault-campaign chunk (span; `a` = chunk index, `b` = faults in
     /// the chunk).
     Chunk,
@@ -98,6 +101,7 @@ impl EventKind {
             EventKind::Seal => "seal",
             EventKind::Busy => "busy",
             EventKind::Merge => "merge",
+            EventKind::Level => "level",
             EventKind::Chunk => "chunk",
             EventKind::FaultRun => "fault_run",
             EventKind::Budget => "budget",
@@ -114,6 +118,7 @@ impl EventKind {
             | EventKind::Gate
             | EventKind::Busy
             | EventKind::Merge
+            | EventKind::Level
             | EventKind::Chunk
             | EventKind::FaultRun => 'X',
             EventKind::Seal | EventKind::Budget => 'i',
@@ -129,6 +134,7 @@ impl EventKind {
             EventKind::Gate | EventKind::Seal => ("signal", "edges"),
             EventKind::Busy => ("worker", "b"),
             EventKind::Merge => ("a", "b"),
+            EventKind::Level => ("level", "width"),
             EventKind::Chunk => ("chunk", "faults"),
             EventKind::FaultRun => ("fault", "outcome"),
             EventKind::Budget => ("resource", "b"),

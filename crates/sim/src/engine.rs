@@ -57,7 +57,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use mis_digital::{Network, SignalId, SignalSource, SimError};
+use mis_digital::{EventBatch, Network, SignalId, SignalSource, SimError};
 use mis_probe::{Probe, TraceSink};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
@@ -118,6 +118,9 @@ pub struct Simulator<'n> {
     span_of: Vec<u32>,
     /// The ready queue (capacity: every signal, preallocated).
     heap: BinaryHeap<Ready>,
+    /// Warm merged-event scratch for the two-input channels' batched
+    /// schedule evaluation (`crate::kernel::eval_signal_into`).
+    batch: EventBatch,
     /// Engine metrics — a disabled bundle for [`Simulator::new`]
     /// engines, so recording is compiled in unconditionally and the
     /// unprobed hot loop pays only local register updates.
@@ -185,6 +188,7 @@ impl<'n> Simulator<'n> {
             deps_left: vec![0; n],
             span_of: vec![0; n],
             heap: BinaryHeap::with_capacity(n),
+            batch: EventBatch::new(),
             counters,
             tracer,
         })
@@ -453,17 +457,19 @@ impl<'n> Simulator<'n> {
     /// The staging-buffer path of [`Simulator::eval`]: runs the shared
     /// kernel against the sealed arena storage and seals the result.
     fn eval_staged(
-        &self,
+        &mut self,
         source: SignalSource<'_>,
         arena: &mut TraceArena,
     ) -> Result<usize, SimError> {
         let span_of = &self.span_of;
+        let batch = &mut self.batch;
         let (sealed, out, scratch) = arena.stage();
         kernel::eval_signal_into(
             source,
             |sid| sealed.trace(span_of[sid.index()] as usize),
             out,
             scratch,
+            batch,
             self.counters.channels(),
         )?;
         Ok(arena.seal_out())

@@ -1,17 +1,21 @@
 //! Shared evaluation infrastructure for the `mis-sim` engines: the
-//! per-gate kernel, the index-width guard, and the fan-out CSR builder.
+//! per-gate kernel, the index-width guard, the fan-out CSR builder, and
+//! the topological levelizer.
 //!
-//! Both engines — the serial event-queue [`crate::Simulator`] and the
-//! parallel per-cone [`crate::ParallelSimulator`] — evaluate gates
-//! through [`eval_signal_into`], the very same fused ideal-gate +
-//! channel passes `mis_digital::Network::run_in` uses. Keeping the
-//! kernel in one place is what makes the engines' bit-identity argument
+//! All three engines — the serial event-queue [`crate::Simulator`], the
+//! parallel per-cone [`crate::ParallelSimulator`] and the level-sliced
+//! [`crate::WavefrontSimulator`] — evaluate gates through
+//! [`eval_signal_into`], the very same fused ideal-gate + channel
+//! passes `mis_digital::Network::run_in` uses. Keeping the kernel in
+//! one place is what makes the engines' bit-identity argument
 //! structural rather than coincidental: a gate's output is a pure
 //! function of its fan-in traces, computed by literally the same code,
-//! so any schedule (event order, cone order, thread interleaving) that
-//! respects dependencies produces the same traces.
+//! so any schedule (event order, cone order, level order, thread
+//! interleaving) that respects dependencies produces the same traces.
 
-use mis_digital::{gates, ChannelCounters, GateKind, Network, SignalId, SignalSource, SimError};
+use mis_digital::{
+    gates, ChannelCounters, EventBatch, GateKind, Network, SignalId, SignalSource, SimError,
+};
 use mis_waveform::{EdgeBuf, TraceRef};
 
 /// The largest signal count (and total fan-out edge count) the engines
@@ -115,6 +119,43 @@ impl FanoutCsr {
     }
 }
 
+/// Topological level per signal: 0 for inputs, `1 + max` over fan-in
+/// levels for gates — the same definition `mis_analyze::sta::levels`
+/// documents (kept crate-local here to avoid a `sim → analyze`
+/// dependency cycle; `mis-analyze` property-tests its table against the
+/// engines, which pins the two definitions together). One forward pass
+/// suffices because [`Network`]'s builder enforces reference-before-use:
+/// every fan-in has a smaller signal index.
+pub(crate) fn levels(net: &Network) -> Vec<u32> {
+    let n = net.signal_count();
+    let mut levels = vec![0u32; n];
+    for s in 0..n {
+        let id = net.signal_id(s).expect("s < signal_count");
+        let mut level = 0u32;
+        for_each_fanin_of(net.source(id), &mut |i| level = level.max(levels[i] + 1));
+        levels[s] = level;
+    }
+    levels
+}
+
+/// Calls `f` with each fan-in signal index of `source` (none for
+/// inputs).
+pub(crate) fn for_each_fanin_of(source: SignalSource<'_>, f: &mut impl FnMut(usize)) {
+    match source {
+        SignalSource::Input => {}
+        SignalSource::Gate { inputs, .. } => {
+            for i in inputs {
+                f(i.index());
+            }
+        }
+        SignalSource::TwoInputChannelGate { inputs, .. } => {
+            for i in inputs {
+                f(i.index());
+            }
+        }
+    }
+}
+
 /// The arena-level shortcut for a gate, if any: a channel-less unary
 /// gate is a pure span duplicate (`TraceArena::push_duplicate` — in the
 /// SoA layout logical NOT is an initial-value flip, so no staging round
@@ -136,7 +177,8 @@ pub(crate) fn duplicate_shortcut(source: &SignalSource<'_>) -> Option<(SignalId,
 
 /// Evaluates one non-input signal through the fused ideal-gate + channel
 /// kernels, writing the result into `out` (using `scratch` for the
-/// fused binary-gate pass). Fan-in traces are obtained through
+/// fused binary-gate pass and `batch` for the two-input channels'
+/// pre-merged event list). Fan-in traces are obtained through
 /// `resolve`, so the caller decides where sealed traces live — the
 /// serial engine resolves into its single arena, each parallel worker
 /// into its own. (Callers normally peel off [`duplicate_shortcut`]
@@ -162,6 +204,7 @@ pub(crate) fn eval_signal_into<'a, F>(
     resolve: F,
     out: &mut EdgeBuf,
     scratch: &mut EdgeBuf,
+    batch: &mut EventBatch,
     stats: &ChannelCounters,
 ) -> Result<(), SimError>
 where
@@ -202,7 +245,7 @@ where
         SignalSource::TwoInputChannelGate { inputs, channel } => {
             let va = resolve(inputs[0]);
             let vb = resolve(inputs[1]);
-            channel.apply2_into_probed(va, vb, out, stats)
+            channel.apply2_batched_into_probed(va, vb, batch, out, stats)
         }
     }
 }
@@ -242,5 +285,24 @@ mod tests {
         assert!(csr.is_sink(3));
         assert!(!csr.is_sink(a.index()));
         assert_eq!(csr.indeg, vec![0, 0, 2, 1]);
+    }
+
+    #[test]
+    fn levels_are_one_plus_max_fanin() {
+        use mis_digital::{GateKind, Network};
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let y = net.add_gate("y", GateKind::Nor, &[a, b], None).unwrap();
+        let z = net.add_gate("z", GateKind::Not, &[y], None).unwrap();
+        // A gate fed by signals on different levels sits one above the
+        // *deeper* fan-in.
+        let w = net.add_gate("w", GateKind::Nand, &[a, z], None).unwrap();
+        let table = levels(&net);
+        assert_eq!(table[a.index()], 0);
+        assert_eq!(table[b.index()], 0);
+        assert_eq!(table[y.index()], 1);
+        assert_eq!(table[z.index()], 2);
+        assert_eq!(table[w.index()], 3);
     }
 }

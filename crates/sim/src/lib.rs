@@ -26,6 +26,12 @@
 //!   workers that each own their [`mis_waveform::TraceArena`], merged
 //!   deterministically by signal index — bit-identical to the serial
 //!   engines at every worker count.
+//! * [`wavefront`] — [`WavefrontSimulator`], level-sliced wavefront
+//!   evaluation: topological fronts split into disjoint per-worker
+//!   chunks (exactly-once, replication 1.0 by construction) with a
+//!   per-level merge barrier and a hybrid serial tail for narrow
+//!   fronts — bit-identical to the serial engine at every worker
+//!   count and cutover.
 //!
 //! Two cross-cutting controls thread through both engines:
 //! [`mod@budget`] bounds a run (events, edges, deadline) with a graceful
@@ -68,6 +74,7 @@ mod kernel;
 pub mod overlay;
 pub mod parallel;
 pub mod probe;
+pub mod wavefront;
 
 pub use bench::{BenchFunc, BenchGate, BenchNetlist, LoweredNetlist, LoweredStats};
 pub use budget::RunBudget;
@@ -78,3 +85,4 @@ pub use kernel::ENGINE_INDEX_MAX;
 pub use overlay::TraceOverlay;
 pub use parallel::ParallelSimulator;
 pub use probe::{SimCounters, SimTracer};
+pub use wavefront::WavefrontSimulator;

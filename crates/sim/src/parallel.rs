@@ -56,7 +56,7 @@
 //! # }
 //! ```
 
-use mis_digital::{ChannelCounters, Network, SignalId, SignalSource, SimError};
+use mis_digital::{ChannelCounters, EventBatch, Network, SignalId, SignalSource, SimError};
 use mis_probe::{Gauge, Probe, SpanTimer, TraceSink};
 use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
 
@@ -176,6 +176,9 @@ struct Worker {
     /// Channel-event sink for this worker's kernel calls (all workers
     /// share the one `chan.*` cell set; counters are cumulative).
     chan: ChannelCounters,
+    /// Warm merged-event scratch for batched two-input channel
+    /// evaluation, private to this worker like the arena.
+    batch: EventBatch,
     /// Timeline recorder on this worker's `par.w<i>` trace track —
     /// disabled unless the engine came from
     /// [`ParallelSimulator::new_traced`].
@@ -236,12 +239,14 @@ impl Worker {
                 self.tracer.guard(meter.on_event())?;
                 let span_of = &self.span_of;
                 let chan = &self.chan;
+                let batch = &mut self.batch;
                 let (sealed, out, scratch) = self.arena.stage();
                 kernel::eval_signal_into(
                     source,
                     |sid| sealed.trace(span_of[sid.index()] as usize),
                     out,
                     scratch,
+                    batch,
                     chan,
                 )?;
                 self.arena.seal_out()
@@ -407,6 +412,7 @@ impl<'n> ParallelSimulator<'n> {
                     signals,
                     span_of: vec![0; n],
                     arena: TraceArena::new(),
+                    batch: EventBatch::new(),
                 }
             })
             .collect();

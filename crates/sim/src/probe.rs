@@ -272,6 +272,12 @@ impl SimTracer {
         self.track.span(EventKind::Merge, 0, 0, started);
     }
 
+    /// Seals one wavefront level ([`EventKind::Level`] span, payload =
+    /// level ordinal and width in signals).
+    pub(crate) fn level_span(&self, started: Option<u64>, level: u32, width: u32) {
+        self.track.span(EventKind::Level, level, width, started);
+    }
+
     /// Records an input span sealed into the arena
     /// ([`EventKind::Seal`] instant).
     #[inline]

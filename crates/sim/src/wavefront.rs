@@ -1,0 +1,948 @@
+//! The level-sliced wavefront evaluator with a hybrid serial tail.
+//!
+//! The per-cone engine ([`crate::ParallelSimulator`]) buys thread
+//! isolation by *replicating* work: cone unions overlap, so the fleet
+//! evaluates some gates several times (ISCAS C880 replicates ~1.9× at
+//! four workers — see `EXPERIMENTS.md`, PR 5). [`WavefrontSimulator`]
+//! removes the replication by slicing the network into **topological
+//! levels** (`crate::kernel::levels`: inputs at level 0, each gate one
+//! past its deepest fan-in) and evaluating each level as one parallel
+//! front:
+//!
+//! * **Exactly-once evaluation.** A level's gates are split into
+//!   contiguous per-worker chunks; every gate belongs to exactly one
+//!   chunk, so the replication factor is 1.0 *by construction* (the
+//!   `wave.assigned_signals` gauge equals the signal count, asserted in
+//!   the suite).
+//! * **Per-level merge barrier.** A gate's fan-ins all sit on strictly
+//!   lower levels, so workers read *sealed* spans from the shared
+//!   [`TraceArena`] immutably and write their chunk into private
+//!   arenas; the coordinator then merges the chunks back in chunk order
+//!   before the next level starts. The barrier is what keeps every read
+//!   data-race-free without a single `unsafe` block.
+//! * **Hybrid serial tail.** Level widths collapse near the outputs
+//!   (the PR 9 timeline attribution measured ≤ 6 signals per level past
+//!   level 15 on C432 and C880), where spawn + merge overhead dwarfs
+//!   the work. Levels narrower than the *cutover* — and every level
+//!   when one worker is configured — are evaluated by the coordinator
+//!   straight into the shared arena, no threads, no merge.
+//!
+//! Gates run through the same fused kernels as every other engine
+//! (`crate::kernel::eval_signal_into`), and each gate's output depends
+//! only on its sealed fan-in traces, so the engine is **bit-identical**
+//! to [`crate::Simulator`] at every worker count and cutover — the same
+//! confluence argument as the per-cone engine, property-tested in
+//! `crates/sim/tests/proptests.rs`.
+//!
+//! Budgets are charged against one shared `SharedBudgetMeter`: atomic
+//! tallies make the totals schedule-independent, so a budget trips (or
+//! fits) identically at every worker count — *exact*, not merely
+//! monotone (see the budget module docs).
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_digital::{GateKind, InertialChannel, Network};
+//! use mis_sim::{Simulator, WavefrontSimulator};
+//! use mis_waveform::{units::ps, DigitalTrace};
+//!
+//! # fn main() -> Result<(), mis_digital::SimError> {
+//! let mut net = Network::new();
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let ch = Box::new(InertialChannel::symmetric(ps(40.0), ps(30.0))?);
+//! net.add_gate("y", GateKind::Nor, &[a, b], Some(ch))?;
+//! let ta = DigitalTrace::with_edges(false, vec![(ps(100.0), true)])?;
+//! let tb = DigitalTrace::constant(false);
+//! let got = WavefrontSimulator::new(&net, 4)?.run(&[ta.clone(), tb.clone()])?;
+//! let want = Simulator::new(&net)?.run(&[ta, tb])?;
+//! assert_eq!(got, want);
+//! # Ok(())
+//! # }
+//! ```
+
+use mis_digital::{ChannelCounters, EventBatch, Network, SignalId, SimError};
+use mis_probe::{Gauge, Probe, SpanTimer, TraceSink};
+use mis_waveform::{DigitalTrace, TraceArena, TraceRef};
+
+use crate::budget::{RunBudget, SharedBudgetMeter};
+use crate::kernel;
+use crate::overlay::{rewrite_span, TraceOverlay};
+use crate::probe::{census_index, SimCounters, SimTracer};
+
+/// Default minimum front width evaluated in parallel: the PR 9 timeline
+/// attribution measured at most 6 signals per level in the late tail of
+/// both C432 and C880, so fronts of 6 or fewer default to the serial
+/// tail and anything wider goes to the workers.
+pub const DEFAULT_CUTOVER: usize = 7;
+
+/// Contiguous chunk `[lo, hi)` of a `width`-signal front assigned to
+/// worker `w` of `workers`: balanced to within one signal, empty chunks
+/// for the spare workers of a narrow front.
+#[inline]
+fn chunk_bounds(width: usize, workers: usize, w: usize) -> (usize, usize) {
+    (w * width / workers, (w + 1) * width / workers)
+}
+
+/// One wavefront worker's private state. Unlike the per-cone engine's
+/// workers, a wavefront worker owns no signal set — it is handed a
+/// chunk of the current front each level and reads every fan-in from
+/// the shared arena (all fan-ins are sealed by the previous barrier).
+#[derive(Debug)]
+struct WaveWorker {
+    /// Per-level chunk storage, reset at each level.
+    arena: TraceArena,
+    /// Chunk-local span per evaluated signal, in chunk order — what the
+    /// coordinator's merge reads back.
+    spans: Vec<u32>,
+    /// Static schedule load, published as the `wave.w<i>.load` gauge
+    /// (gauge *sets* store even on a disabled probe, so
+    /// [`WavefrontSimulator::worker_loads`] always reads through the
+    /// registry).
+    load: Gauge,
+    /// Cumulative busy time, `wave.w<i>.busy`.
+    busy: SpanTimer,
+    /// Channel-event sink for this worker's kernel calls (all workers
+    /// share the one `chan.*` cell set; counters are cumulative).
+    chan: ChannelCounters,
+    /// Warm merged-event scratch for batched two-input channel
+    /// evaluation, private to this worker like the arena.
+    batch: EventBatch,
+    /// Timeline recorder on this worker's `par.w<i>` trace track (the
+    /// established worker-track naming, shared with the per-cone
+    /// engine) — disabled unless the engine came from
+    /// [`WavefrontSimulator::new_traced`].
+    tracer: SimTracer,
+}
+
+impl WaveWorker {
+    /// Evaluates one chunk of the current front into this worker's
+    /// arena, reading fan-ins from the sealed spans of `main`. Returns
+    /// the chunk's `(events, duplicate_spans)` tallies for the
+    /// coordinator's run flush.
+    fn evaluate_level(
+        &mut self,
+        net: &Network,
+        chunk: &[u32],
+        main: &TraceArena,
+        span_of: &[u32],
+        meter: &SharedBudgetMeter<'_>,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(u64, u64), SimError> {
+        let started = self.busy.start();
+        let busy_started = self.tracer.start();
+        let result = self.evaluate_level_inner(net, chunk, main, span_of, meter, overlay);
+        self.tracer.busy_span(busy_started);
+        self.busy.stop(started);
+        result
+    }
+
+    fn evaluate_level_inner(
+        &mut self,
+        net: &Network,
+        chunk: &[u32],
+        main: &TraceArena,
+        span_of: &[u32],
+        meter: &SharedBudgetMeter<'_>,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(u64, u64), SimError> {
+        self.arena.reset();
+        self.spans.clear();
+        let (mut pops, mut dups) = (0u64, 0u64);
+        for &s in chunk {
+            let s = s as usize;
+            let id = net.signal_id(s).expect("s < signal_count");
+            let source = net.source(id);
+            self.tracer.guard(meter.on_event())?;
+            pops += 1;
+            let gate_started = self.tracer.start();
+            let mut span = if let Some((src, invert)) = kernel::duplicate_shortcut(&source) {
+                // The source span lives in the *shared* arena (strictly
+                // lower level), so the worker copies the view instead of
+                // the serial engines' same-arena span duplicate — same
+                // shared predicate, same resulting trace.
+                dups += 1;
+                let mut view = main.trace(span_of[src.index()] as usize);
+                if invert {
+                    view = view.inverted();
+                }
+                self.arena.push_view(view)
+            } else {
+                let chan = &self.chan;
+                let batch = &mut self.batch;
+                let (_, out, scratch) = self.arena.stage();
+                kernel::eval_signal_into(
+                    source,
+                    |sid| main.trace(span_of[sid.index()] as usize),
+                    out,
+                    scratch,
+                    batch,
+                    chan,
+                )?;
+                self.arena.seal_out()
+            };
+            if let Some(ov) = overlay {
+                if ov.rewrites(id) {
+                    span = rewrite_span(&mut self.arena, span, id, ov)?;
+                }
+            }
+            let edges = self.arena.trace(span).len() as u64;
+            self.tracer.gate_span(gate_started, s as u32, edges as u32);
+            self.tracer.guard(meter.on_edges(edges))?;
+            // Lossless: chunk spans per level ≤ signal count, checked at
+            // construction.
+            self.spans.push(span as u32);
+        }
+        Ok((pops, dups))
+    }
+}
+
+/// A level-sliced wavefront evaluator over a borrowed [`Network`] — see
+/// the module docs for the front/barrier discipline and the
+/// exactly-once argument.
+///
+/// Construction levelizes the network once; each
+/// [`WavefrontSimulator::run_in`] walks the levels, spawning scoped
+/// workers only for fronts at least [`WavefrontSimulator::cutover`]
+/// wide. Worker arenas persist across runs, and an all-serial run
+/// (one worker, or every front under the cutover) is allocation-free on
+/// a warm arena, exactly like the serial engine.
+#[derive(Debug)]
+pub struct WavefrontSimulator<'n> {
+    net: &'n Network,
+    /// Signal indices sorted by (level, index): level `l` occupies
+    /// `order[level_start[l]..level_start[l + 1]]`.
+    order: Vec<u32>,
+    /// Level offsets into `order` (one entry per level plus a tail).
+    level_start: Vec<u32>,
+    /// Arena span holding each signal's trace, maintained run to run.
+    span_of: Vec<u32>,
+    workers: Vec<WaveWorker>,
+    /// Minimum front width evaluated in parallel; narrower fronts take
+    /// the coordinator's serial tail.
+    cutover: usize,
+    /// Coordinator's warm merged-event scratch for serial-tail gates.
+    batch: EventBatch,
+    /// Total scheduled signals (`wave.assigned_signals` gauge) — equal
+    /// to the signal count by construction, the registry value
+    /// [`WavefrontSimulator::replication_factor`] reads.
+    assigned: Gauge,
+    /// Widest front (`wave.peak_width` gauge).
+    peak_width: Gauge,
+    /// Cumulative merge time across parallel barriers, `wave.merge`.
+    merge: SpanTimer,
+    /// Engine metrics — a disabled bundle for [`WavefrontSimulator::new`]
+    /// engines, same contract as the serial engine's.
+    counters: SimCounters,
+    /// Timeline recorder on the coordinator's `wave` trace track (run,
+    /// level and merge spans) — disabled unless built by
+    /// [`WavefrontSimulator::new_traced`].
+    tracer: SimTracer,
+}
+
+impl<'n> WavefrontSimulator<'n> {
+    /// Levelizes `net` for `workers` workers at the default
+    /// [`DEFAULT_CUTOVER`] (adjust with
+    /// [`WavefrontSimulator::with_cutover`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Network`] — `workers` is zero.
+    /// * [`SimError::NetworkTooLarge`] — the network exceeds the `u32`
+    ///   index width (same check as [`crate::Simulator::new`]).
+    pub fn new(net: &'n Network, workers: usize) -> Result<Self, SimError> {
+        Self::new_probed(net, workers, &Probe::disabled())
+    }
+
+    /// [`WavefrontSimulator::new`] with metrics recording into `probe`:
+    /// per-worker `wave.w<i>.load` gauges and `wave.w<i>.busy` span
+    /// timers, the `wave.assigned_signals` / `wave.peak_width` /
+    /// `wave.levels` schedule gauges, the `wave.merge` barrier span,
+    /// the `sim.*` run counters and edge census, and the shared
+    /// `chan.*` channel counters. The schedule gauges are *set* at
+    /// construction, so [`WavefrontSimulator::worker_loads`] and
+    /// [`WavefrontSimulator::replication_factor`] read through the
+    /// registry even on a disabled probe.
+    ///
+    /// # Errors
+    ///
+    /// As [`WavefrontSimulator::new`].
+    pub fn new_probed(net: &'n Network, workers: usize, probe: &Probe) -> Result<Self, SimError> {
+        Self::build(net, workers, probe, &TraceSink::disabled())
+    }
+
+    /// [`WavefrontSimulator::new_probed`] plus timeline recording into
+    /// `sink`: one `par.w<i>` trace track per worker (per-level busy
+    /// spans, per-gate spans, budget instants) and a `wave` coordinator
+    /// track carrying one `run` span per run, one `level` span per
+    /// front (payload: level ordinal and width), and a `merge` span per
+    /// parallel barrier. Identical evaluation semantics; traced warm
+    /// serial-tail runs stay allocation-free (preallocated rings only).
+    ///
+    /// # Errors
+    ///
+    /// As [`WavefrontSimulator::new`].
+    pub fn new_traced(
+        net: &'n Network,
+        workers: usize,
+        probe: &Probe,
+        sink: &TraceSink,
+    ) -> Result<Self, SimError> {
+        Self::build(net, workers, probe, sink)
+    }
+
+    fn build(
+        net: &'n Network,
+        workers: usize,
+        probe: &Probe,
+        sink: &TraceSink,
+    ) -> Result<Self, SimError> {
+        if workers == 0 {
+            return Err(SimError::Network {
+                reason: "wavefront evaluation needs at least one worker".into(),
+            });
+        }
+        let n = net.signal_count();
+        kernel::check_index_width(n)?;
+        let levels = kernel::levels(net);
+        let depth = levels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        // Counting sort by level; ascending signal index within a level
+        // falls out of the ascending outer walk.
+        let mut level_start = vec![0u32; depth + 1];
+        for &l in &levels {
+            level_start[l as usize + 1] += 1;
+        }
+        for l in 0..depth {
+            level_start[l + 1] += level_start[l];
+        }
+        let mut cursor = level_start.clone();
+        let mut order = vec![0u32; n];
+        for (s, &l) in levels.iter().enumerate() {
+            order[cursor[l as usize] as usize] = s as u32;
+            cursor[l as usize] += 1;
+        }
+        let peak = (0..depth)
+            .map(|l| level_start[l + 1] - level_start[l])
+            .max()
+            .unwrap_or(0);
+        let counters = SimCounters::register(probe);
+        let chan = counters.channels().clone();
+        let workers: Vec<WaveWorker> = (0..workers)
+            .map(|w| WaveWorker {
+                arena: TraceArena::new(),
+                spans: Vec::new(),
+                load: probe.gauge(&format!("wave.w{w}.load")),
+                busy: probe.timer(&format!("wave.w{w}.busy")),
+                chan: chan.clone(),
+                batch: EventBatch::new(),
+                tracer: SimTracer::register_worker(sink, "par", w as u32),
+            })
+            .collect();
+        let peak_width = probe.gauge("wave.peak_width");
+        peak_width.set(u64::from(peak));
+        // Set-and-release: the registry cell keeps the value, the engine
+        // never reads it back.
+        probe.gauge("wave.levels").set(depth as u64);
+        let mut engine = WavefrontSimulator {
+            net,
+            order,
+            level_start,
+            span_of: vec![0; n],
+            workers,
+            cutover: DEFAULT_CUTOVER,
+            batch: EventBatch::new(),
+            assigned: probe.gauge("wave.assigned_signals"),
+            peak_width,
+            merge: probe.timer("wave.merge"),
+            counters,
+            tracer: SimTracer::register(sink, "wave"),
+        };
+        engine.publish_schedule();
+        Ok(engine)
+    }
+
+    /// Returns the engine with a different serial-tail cutover: the
+    /// minimum front width evaluated in parallel. `0` sends every
+    /// gate-bearing front to the workers, `usize::MAX` makes the whole
+    /// run serial; both extremes (and everything between) are
+    /// bit-identical — the cutover only moves work between the
+    /// coordinator and the workers. The static-schedule gauges are
+    /// republished for the new schedule.
+    #[must_use]
+    pub fn with_cutover(mut self, cutover: usize) -> Self {
+        self.cutover = cutover;
+        self.publish_schedule();
+        self
+    }
+
+    /// Recomputes the static per-worker loads for the current cutover
+    /// and publishes them (plus the exactly-once total) through the
+    /// registry gauges. Serial-tail fronts and the input level are
+    /// evaluated on the calling thread, which is also worker 0's.
+    fn publish_schedule(&mut self) {
+        let workers = self.workers.len();
+        let mut loads = vec![0u64; workers];
+        for l in 0..self.level_count() {
+            let width = (self.level_start[l + 1] - self.level_start[l]) as usize;
+            if l == 0 || width < self.cutover || workers == 1 {
+                loads[0] += width as u64;
+            } else {
+                for (w, load) in loads.iter_mut().enumerate() {
+                    let (lo, hi) = chunk_bounds(width, workers, w);
+                    *load += (hi - lo) as u64;
+                }
+            }
+        }
+        for (w, load) in loads.iter().enumerate() {
+            self.workers[w].load.set(*load);
+        }
+        // Every signal is scheduled exactly once: the chunks partition
+        // each front and the fronts partition the signals.
+        self.assigned.set(loads.iter().sum());
+    }
+
+    /// The network under simulation.
+    #[must_use]
+    pub fn network(&self) -> &'n Network {
+        self.net
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The serial-tail cutover: fronts narrower than this are evaluated
+    /// by the coordinator without spawning.
+    #[must_use]
+    pub fn cutover(&self) -> usize {
+        self.cutover
+    }
+
+    /// Number of topological levels (0 for an empty network).
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.level_start.len() - 1
+    }
+
+    /// The widest front, in signals — a thin view over the
+    /// `wave.peak_width` registry gauge.
+    #[must_use]
+    pub fn peak_width(&self) -> usize {
+        self.peak_width.value() as usize
+    }
+
+    /// The engine's metric bundle (disabled for
+    /// [`WavefrontSimulator::new`] engines).
+    #[must_use]
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// Signals scheduled onto each worker under the current cutover
+    /// (serial-tail and input fronts count toward worker 0, whose
+    /// thread evaluates them). The sum is exactly the signal count.
+    ///
+    /// A thin view over the `wave.w<i>.load` registry gauges, so a
+    /// profile report and this accessor can never disagree.
+    #[must_use]
+    pub fn worker_loads(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .map(|w| w.load.value() as usize)
+            .collect()
+    }
+
+    /// Total scheduled signals divided by the signal count — 1.0 by
+    /// construction: level chunks never overlap, so no gate is ever
+    /// evaluated twice (contrast with the per-cone engine's cone
+    /// redundancy).
+    ///
+    /// Reads the `wave.assigned_signals` registry gauge — same
+    /// source-of-truth argument as [`WavefrontSimulator::worker_loads`].
+    #[must_use]
+    pub fn replication_factor(&self) -> f64 {
+        self.assigned.value() as f64 / self.net.signal_count().max(1) as f64
+    }
+
+    /// Evaluates the network into `arena` level by level: inputs sealed
+    /// first, then each front either serially (narrower than the
+    /// cutover) or as parallel chunks merged back in chunk order. After
+    /// the run every signal's trace sits at [`WavefrontSimulator::span`]
+    /// — spans are sealed in level order.
+    ///
+    /// On a warm arena an all-serial run (one worker, or
+    /// `usize::MAX` cutover) performs zero heap allocations; parallel
+    /// fronts pay their scoped thread spawns.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Network`] — wrong number of input traces.
+    /// * Propagates channel failures (the lowest-indexed failing
+    ///   chunk's error, deterministically).
+    pub fn run_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+    ) -> Result<(), SimError> {
+        self.run_controlled_in(inputs, arena, &RunBudget::UNLIMITED, None)
+    }
+
+    /// [`WavefrontSimulator::run_in`] under a [`RunBudget`]: all chunks
+    /// charge one shared atomic meter, so the charged totals — and
+    /// therefore whether a budget trips — are identical to the serial
+    /// engine's at every worker count and cutover (see the budget
+    /// module docs). A tripped run leaves the arena reusable.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BudgetExceeded`] — a budget limit tripped.
+    /// * As [`WavefrontSimulator::run_in`].
+    pub fn run_budgeted_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+        budget: &RunBudget,
+    ) -> Result<(), SimError> {
+        self.run_controlled_in(inputs, arena, budget, None)
+    }
+
+    /// The fully general run: a [`RunBudget`] plus an optional
+    /// [`TraceOverlay`] shared by reference across the chunks —
+    /// bit-identical to [`crate::Simulator::run_controlled_in`] under
+    /// the same inputs, because every chunk applies the same pure
+    /// rewrite at the same sealed-span boundary.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BudgetExceeded`] — a budget limit tripped.
+    /// * Propagates overlay rewrite failures.
+    /// * As [`WavefrontSimulator::run_in`].
+    pub fn run_controlled_in(
+        &mut self,
+        inputs: &[DigitalTrace],
+        arena: &mut TraceArena,
+        budget: &RunBudget,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(), SimError> {
+        if inputs.len() != self.net.input_count() {
+            return Err(SimError::Network {
+                reason: format!(
+                    "expected {} input traces, got {}",
+                    self.net.input_count(),
+                    inputs.len()
+                ),
+            });
+        }
+        let started = self.counters.start_run();
+        let run_started = self.tracer.start();
+        let meter = SharedBudgetMeter::start(budget);
+        arena.reset();
+        let (mut pops, mut dups) = (0u64, 0u64);
+        for l in 0..self.level_count() {
+            let range = self.level_start[l] as usize..self.level_start[l + 1] as usize;
+            let width = range.len();
+            let level_started = self.tracer.start();
+            if l == 0 {
+                // The input front: sealed straight from caller traces
+                // (level 0 holds exactly the inputs — every gate has a
+                // fan-in, so gates sit at level ≥ 1).
+                for i in range {
+                    let s = self.order[i] as usize;
+                    let mut span = arena.push_trace(&inputs[s]);
+                    if let Some(ov) = overlay {
+                        let id = self.net.signal_id(s).expect("s < signal_count");
+                        if ov.rewrites(id) {
+                            span = rewrite_span(arena, span, id, ov)?;
+                        }
+                    }
+                    self.span_of[s] = span as u32;
+                    if self.tracer.is_enabled() {
+                        self.tracer.seal(s as u32, arena.trace(span).len() as u32);
+                    }
+                }
+            } else if width < self.cutover || self.workers.len() == 1 {
+                // The serial tail: the coordinator evaluates narrow
+                // fronts straight into the shared arena — no spawns, no
+                // merge, no private-arena copy.
+                for i in range {
+                    let s = self.order[i] as usize;
+                    self.tracer.guard(meter.on_event())?;
+                    pops += 1;
+                    let gate_started = self.tracer.start();
+                    dups += u64::from(self.eval_serial(s, arena, overlay)?);
+                    let edges = arena.trace(self.span_of[s] as usize).len() as u64;
+                    self.tracer.gate_span(gate_started, s as u32, edges as u32);
+                    self.tracer.guard(meter.on_edges(edges))?;
+                }
+            } else {
+                let (p, d) = self.eval_front(l, arena, &meter, overlay)?;
+                pops += p;
+                dups += d;
+            }
+            self.tracer
+                .level_span(level_started, l as u32, width as u32);
+        }
+        // No ready queue: the high-water gauge stays untouched (0),
+        // which `sim_profile` reports as "no heap" for this engine.
+        self.counters.finish_run(started, pops, dups, 0);
+        self.tracer.run_span(run_started);
+        if self.counters.is_enabled() {
+            self.census(arena);
+        }
+        Ok(())
+    }
+
+    /// Evaluates one parallel front: scoped workers over contiguous
+    /// chunks (worker 0's chunk on the calling thread), then the merge
+    /// barrier copies every chunk back into the shared arena in chunk
+    /// order. Returns the front's `(events, duplicate_spans)` tallies.
+    fn eval_front(
+        &mut self,
+        l: usize,
+        arena: &mut TraceArena,
+        meter: &SharedBudgetMeter<'_>,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<(u64, u64), SimError> {
+        let range = self.level_start[l] as usize..self.level_start[l + 1] as usize;
+        let width = range.len();
+        let workers = self.workers.len();
+        let net = self.net;
+        let front = &self.order[range];
+        let span_of = &self.span_of;
+        let main: &TraceArena = arena;
+        let (first, rest) = self
+            .workers
+            .split_first_mut()
+            .expect("construction guarantees at least one worker");
+        let (pops, dups) = std::thread::scope(|scope| -> Result<(u64, u64), SimError> {
+            let handles: Vec<_> = rest
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(k, w)| {
+                    let (lo, hi) = chunk_bounds(width, workers, k + 1);
+                    (lo < hi).then(|| {
+                        scope.spawn(move || {
+                            w.evaluate_level(net, &front[lo..hi], main, span_of, meter, overlay)
+                        })
+                    })
+                })
+                .collect();
+            let (lo, hi) = chunk_bounds(width, workers, 0);
+            let mut result = if lo < hi {
+                first.evaluate_level(net, &front[lo..hi], main, span_of, meter, overlay)
+            } else {
+                Ok((0, 0))
+            };
+            for h in handles {
+                let r = h
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                match (&mut result, r) {
+                    (Ok((p0, d0)), Ok((p, d))) => {
+                        *p0 += p;
+                        *d0 += d;
+                    }
+                    (Ok(_), Err(e)) => result = Err(e),
+                    (Err(_), _) => {}
+                }
+            }
+            result
+        })?;
+        let merge_started = self.merge.start();
+        let merge_trace_started = self.tracer.start();
+        for (wi, w) in self.workers.iter().enumerate() {
+            let (lo, hi) = chunk_bounds(width, workers, wi);
+            for (k, &s) in front[lo..hi].iter().enumerate() {
+                let span = arena.push_view(w.arena.trace(w.spans[k] as usize));
+                self.span_of[s as usize] = span as u32;
+            }
+        }
+        self.tracer.merge_span(merge_trace_started);
+        self.merge.stop(merge_started);
+        Ok((pops, dups))
+    }
+
+    /// Evaluates one serial-tail gate straight into the shared arena —
+    /// the same shape as the serial engine's `eval` (shared
+    /// duplicate-shortcut predicate, shared kernel, overlay at the
+    /// sealed-span boundary). Returns whether the gate resolved as a
+    /// duplicate span.
+    fn eval_serial(
+        &mut self,
+        s: usize,
+        arena: &mut TraceArena,
+        overlay: Option<&dyn TraceOverlay>,
+    ) -> Result<bool, SimError> {
+        let net = self.net;
+        let id = net.signal_id(s).expect("s < signal_count");
+        let source = net.source(id);
+        let (mut span, dup) = match kernel::duplicate_shortcut(&source) {
+            Some((src, invert)) => (
+                arena.push_duplicate(self.span_of[src.index()] as usize, invert),
+                true,
+            ),
+            None => {
+                let span_of = &self.span_of;
+                let batch = &mut self.batch;
+                let (sealed, out, scratch) = arena.stage();
+                kernel::eval_signal_into(
+                    source,
+                    |sid| sealed.trace(span_of[sid.index()] as usize),
+                    out,
+                    scratch,
+                    batch,
+                    self.counters.channels(),
+                )?;
+                (arena.seal_out(), false)
+            }
+        };
+        if let Some(ov) = overlay {
+            if ov.rewrites(id) {
+                span = rewrite_span(arena, span, id, ov)?;
+            }
+        }
+        self.span_of[s] = span as u32;
+        Ok(dup)
+    }
+
+    /// The post-run per-kind edge census — same walk as the serial
+    /// engine's, run only when the probe is enabled.
+    fn census(&self, arena: &TraceArena) {
+        for s in 0..self.net.signal_count() {
+            let id = self.net.signal_id(s).expect("s < signal_count");
+            let class = census_index(&self.net.source(id));
+            let edges = arena.trace(self.span_of[s] as usize).len() as u64;
+            self.counters.census(class, edges);
+        }
+    }
+
+    /// The allocating compatibility wrapper: one owned trace per signal
+    /// in signal order, bit-identical to [`crate::Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`WavefrontSimulator::run_in`].
+    pub fn run(&mut self, inputs: &[DigitalTrace]) -> Result<Vec<DigitalTrace>, SimError> {
+        let mut arena = TraceArena::new();
+        self.run_in(inputs, &mut arena)?;
+        Ok((0..self.net.signal_count())
+            .map(|s| arena.to_trace(self.span_of[s] as usize))
+            .collect())
+    }
+
+    /// The arena span index holding signal `id`'s trace (valid after a
+    /// [`WavefrontSimulator::run_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign [`SignalId`].
+    #[must_use]
+    pub fn span(&self, id: SignalId) -> usize {
+        self.span_of[id.index()] as usize
+    }
+
+    /// Convenience: the view of signal `id`'s trace inside `arena`
+    /// (valid after a [`WavefrontSimulator::run_in`] into that arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign [`SignalId`] or a mismatched arena.
+    #[must_use]
+    pub fn trace<'a>(&self, arena: &'a TraceArena, id: SignalId) -> TraceRef<'a> {
+        arena.trace(self.span(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use mis_digital::{GateKind, InertialChannel};
+    use mis_waveform::units::ps;
+
+    /// A three-level circuit exercising inputs, a channel gate, a
+    /// duplicate-shortcut NOT and a reconvergent NAND.
+    fn layered_net() -> (Network, Vec<DigitalTrace>) {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let nor = net
+            .add_gate(
+                "nor",
+                GateKind::Nor,
+                &[a, b],
+                Some(Box::new(
+                    InertialChannel::symmetric(ps(40.0), ps(30.0)).unwrap(),
+                )),
+            )
+            .unwrap();
+        let inv = net.add_gate("inv", GateKind::Not, &[c], None).unwrap();
+        net.add_gate("y", GateKind::Nand, &[nor, inv], None)
+            .unwrap();
+        net.add_gate("z", GateKind::And, &[a, c], None).unwrap();
+        let ta =
+            DigitalTrace::with_edges(false, vec![(ps(100.0), true), (ps(400.0), false)]).unwrap();
+        let tb = DigitalTrace::with_edges(false, vec![(ps(250.0), true)]).unwrap();
+        let tc = DigitalTrace::with_edges(true, vec![(ps(150.0), false)]).unwrap();
+        (net, vec![ta, tb, tc])
+    }
+
+    #[test]
+    fn matches_serial_engine_at_every_worker_count_and_cutover() {
+        let (net, inputs) = layered_net();
+        let want = Simulator::new(&net).unwrap().run(&inputs).unwrap();
+        for workers in 1..=4 {
+            for cutover in [0, 2, DEFAULT_CUTOVER, usize::MAX] {
+                let got = WavefrontSimulator::new(&net, workers)
+                    .unwrap()
+                    .with_cutover(cutover)
+                    .run(&inputs)
+                    .unwrap();
+                assert_eq!(got, want, "workers={workers} cutover={cutover}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let (net, _) = layered_net();
+        assert!(WavefrontSimulator::new(&net, 0).is_err());
+    }
+
+    #[test]
+    fn input_count_is_validated() {
+        let (net, _) = layered_net();
+        let mut sim = WavefrontSimulator::new(&net, 2).unwrap();
+        assert!(sim.run(&[]).is_err());
+    }
+
+    #[test]
+    fn levelization_orders_fronts_by_depth() {
+        let (net, _) = layered_net();
+        let sim = WavefrontSimulator::new(&net, 2).unwrap();
+        // inputs a,b,c / nor+inv+z / y
+        assert_eq!(sim.level_count(), 3);
+        assert_eq!(sim.level_start, vec![0, 3, 6, 7]);
+        assert_eq!(sim.peak_width.value(), 3);
+    }
+
+    #[test]
+    fn schedule_is_exactly_once_at_every_cutover() {
+        let (net, _) = layered_net();
+        for workers in 1..=4 {
+            for cutover in [0, 2, usize::MAX] {
+                let sim = WavefrontSimulator::new(&net, workers)
+                    .unwrap()
+                    .with_cutover(cutover);
+                let loads = sim.worker_loads();
+                assert_eq!(
+                    loads.iter().sum::<usize>(),
+                    net.signal_count(),
+                    "workers={workers} cutover={cutover} loads={loads:?}"
+                );
+                assert!((sim.replication_factor() - 1.0).abs() < f64::EPSILON);
+            }
+        }
+    }
+
+    #[test]
+    fn all_serial_cutover_sends_every_signal_to_worker_zero() {
+        let (net, _) = layered_net();
+        let sim = WavefrontSimulator::new(&net, 4)
+            .unwrap()
+            .with_cutover(usize::MAX);
+        assert_eq!(sim.worker_loads()[0], net.signal_count());
+    }
+
+    #[test]
+    fn probed_engine_counts_match_the_serial_engine() {
+        use mis_probe::Probe;
+        let (net, inputs) = layered_net();
+        let probe_serial = Probe::new();
+        let mut serial = Simulator::new_probed(&net, &probe_serial).unwrap();
+        let mut arena = TraceArena::new();
+        serial.run_in(&inputs, &mut arena).unwrap();
+
+        let probe = Probe::new();
+        // Cutover 0: every gate level runs through the workers.
+        let mut sim = WavefrontSimulator::new_probed(&net, 3, &probe)
+            .unwrap()
+            .with_cutover(0);
+        let mut wave_arena = TraceArena::new();
+        sim.run_in(&inputs, &mut wave_arena).unwrap();
+        let c = sim.counters();
+        assert_eq!(c.events_popped(), serial.counters().events_popped());
+        assert_eq!(c.duplicate_spans(), serial.counters().duplicate_spans());
+        assert_eq!(c.gates_evaluated(), serial.counters().gates_evaluated());
+        assert_eq!(c.heap_high_water(), 0, "no ready queue in this engine");
+        // The edge census agrees too (identical traces, identical walk).
+        let report = probe.report();
+        let serial_report = probe_serial.report();
+        for key in ["sim.edges.input", "sim.edges.nor", "sim.edges.not"] {
+            assert_eq!(
+                report.get(key).unwrap().scalar(),
+                serial_report.get(key).unwrap().scalar(),
+                "{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_engine_records_levels_and_worker_tracks() {
+        use mis_probe::{EventKind, Probe, TraceSink};
+        let (net, inputs) = layered_net();
+        let probe = Probe::new();
+        let sink = TraceSink::new();
+        let mut sim = WavefrontSimulator::new_traced(&net, 2, &probe, &sink)
+            .unwrap()
+            .with_cutover(0);
+        let mut arena = TraceArena::new();
+        sim.run_in(&inputs, &mut arena).unwrap();
+        let snap = sink.snapshot();
+        let wave = snap.track("wave").unwrap();
+        let count = |k: EventKind| wave.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::Run), 1);
+        assert_eq!(count(EventKind::Level), 3, "one span per level");
+        assert_eq!(count(EventKind::Merge), 2, "one barrier per gate level");
+        assert_eq!(count(EventKind::Seal), 3, "inputs seal on the wave track");
+        let level = wave
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Level)
+            .unwrap();
+        assert_eq!((level.a, level.b), (0, 3), "level span carries its width");
+        // Worker tracks carry the per-gate spans.
+        let gate_spans: usize = (0..2)
+            .map(|w| {
+                let track = snap.track(&format!("par.w{w}")).unwrap();
+                track
+                    .events
+                    .iter()
+                    .filter(|e| e.kind == EventKind::Gate)
+                    .count()
+            })
+            .sum();
+        assert_eq!(gate_spans, 4, "every gate evaluated on some worker");
+    }
+
+    #[test]
+    fn budget_trips_are_exact_and_leave_the_engine_reusable() {
+        let (net, inputs) = layered_net();
+        let gates = net.signal_count() - net.input_count();
+        let mut sim = WavefrontSimulator::new(&net, 3).unwrap().with_cutover(0);
+        let mut arena = TraceArena::new();
+        let exact = RunBudget::UNLIMITED.with_max_events(gates as u64);
+        sim.run_budgeted_in(&inputs, &mut arena, &exact).unwrap();
+        let short = RunBudget::UNLIMITED.with_max_events(gates as u64 - 1);
+        assert!(matches!(
+            sim.run_budgeted_in(&inputs, &mut arena, &short),
+            Err(SimError::BudgetExceeded { .. })
+        ));
+        // The tripped engine still produces bit-identical results.
+        let want = Simulator::new(&net).unwrap().run(&inputs).unwrap();
+        assert_eq!(sim.run(&inputs).unwrap(), want);
+    }
+}

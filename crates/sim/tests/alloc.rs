@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use mis_charlib::CharLib;
 use mis_digital::InertialChannel;
 use mis_probe::{Probe, TraceSink};
-use mis_sim::{BenchNetlist, CellLibrary, Simulator};
+use mis_sim::{BenchNetlist, CellLibrary, Simulator, WavefrontSimulator};
 use mis_testkit::alloc::{self, CountingAllocator};
 use mis_waveform::generate::{Assignment, TraceConfig};
 use mis_waveform::units::ps;
@@ -169,6 +169,57 @@ fn warm_traced_simulator_run_in_is_allocation_free() {
             !track.events.is_empty(),
             "{file}: traced runs recorded events"
         );
+    }
+}
+
+#[test]
+fn warm_wavefront_serial_paths_are_allocation_free_probed_and_traced() {
+    // The wavefront engine's zero-allocation claim is scoped to its
+    // serial paths — one worker, or a cutover that routes every front
+    // through the serial tail. (Parallel fronts spend their steady-state
+    // allocations on the scoped thread spawns themselves, exactly like
+    // the per-cone engine; worker arenas are warm and reused.) Both a
+    // live probe and a live trace sink are attached: gauges, span
+    // timers, level spans and seal instants all land in storage sized at
+    // registration.
+    let cells = committed_cells();
+    for (file, seed) in [("c432.bench", 0x432), ("c880.bench", 0x880)] {
+        let lowered = fixture(file).lower(&cells).expect("lowering");
+        let inputs = traffic(lowered.inputs.len(), seed);
+        for (workers, cutover) in [(1usize, 0usize), (3, usize::MAX)] {
+            let probe = Probe::new();
+            let sink = TraceSink::new();
+            let mut wave = WavefrontSimulator::new_traced(&lowered.net, workers, &probe, &sink)
+                .expect("engine construction")
+                .with_cutover(cutover);
+            let mut arena = TraceArena::new();
+            wave.run_in(&inputs, &mut arena).expect("warm-up run");
+            let warm_edges = arena.total_edges();
+            let warm_pops = wave.counters().events_popped();
+            assert!(warm_pops > 0, "{file}: probe saw the warm-up run");
+            let (allocations, ()) = alloc::count_in(|| {
+                for _ in 0..5 {
+                    wave.run_in(&inputs, &mut arena).expect("steady-state run");
+                }
+            });
+            assert_eq!(
+                allocations, 0,
+                "{file}: steady-state wavefront run_in ({workers} workers, \
+                 cutover {cutover}) allocated {allocations} times"
+            );
+            assert_eq!(arena.total_edges(), warm_edges, "{file}: reproducible");
+            assert_eq!(
+                wave.counters().events_popped(),
+                warm_pops * 6,
+                "{file}: per-run pop count is reproducible"
+            );
+            let snap = sink.snapshot();
+            let track = snap.track("wave").expect("wave track registered");
+            assert!(
+                !track.events.is_empty(),
+                "{file}: traced wavefront runs recorded events"
+            );
+        }
     }
 }
 

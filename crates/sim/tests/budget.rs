@@ -1,16 +1,21 @@
-//! Boundary behavior of [`RunBudget`] on both engines, against the
+//! Boundary behavior of [`RunBudget`] on all three engines, against the
 //! committed fixtures: the budget trips strictly *past* its limit
 //! (exactly-enough succeeds, one-less errors), zero budgets trip on the
 //! first unit of work, a tripped run leaves the engine and arena fully
 //! reusable, and below-budget runs stay bit-identical to unbudgeted
-//! ones at every worker count.
+//! ones at every worker count. The wavefront engine's shared atomic
+//! meter makes its accounting *exact* (schedule-independent totals), so
+//! its boundary tests run at every worker count, not just serially.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use mis_charlib::CharLib;
 use mis_digital::{BudgetResource, InertialChannel, SimError};
-use mis_sim::{BenchNetlist, CellLibrary, LoweredNetlist, ParallelSimulator, RunBudget, Simulator};
+use mis_sim::{
+    BenchNetlist, CellLibrary, LoweredNetlist, ParallelSimulator, RunBudget, Simulator,
+    WavefrontSimulator,
+};
 use mis_waveform::generate::{Assignment, TraceConfig};
 use mis_waveform::units::ps;
 use mis_waveform::{DigitalTrace, TraceArena};
@@ -152,6 +157,70 @@ fn zero_budgets_trip_on_the_first_unit_of_work() {
         match par.run_budgeted_in(&inputs, &mut arena, &budget) {
             Err(SimError::BudgetExceeded { resource: r, .. }) => assert_eq!(r, resource),
             other => panic!("parallel zero {resource} budget returned {other:?}"),
+        }
+        let mut wave = WavefrontSimulator::new(&lowered.net, 3).expect("wavefront engine");
+        match wave.run_budgeted_in(&inputs, &mut arena, &budget) {
+            Err(SimError::BudgetExceeded { resource: r, .. }) => assert_eq!(r, resource),
+            other => panic!("wavefront zero {resource} budget returned {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wavefront_budget_boundaries_are_exact_at_every_worker_count() {
+    // The wavefront engine charges one shared atomic meter, so its
+    // charged totals are schedule-independent: exactly-enough passes and
+    // one-less trips at *every* worker count and cutover — a stronger
+    // contract than the per-cone engine's per-worker monotonicity.
+    for (file, seed) in [("c17.bench", 0xC17), ("c432.bench", 0x432)] {
+        let (events, edges) = run_cost(file, seed);
+        let lowered = lowered(file);
+        let inputs = traffic(lowered.inputs.len(), seed);
+        for workers in [1usize, 3, 8] {
+            for cutover in [0, usize::MAX] {
+                let mut wave = WavefrontSimulator::new(&lowered.net, workers)
+                    .expect("wavefront engine")
+                    .with_cutover(cutover);
+                let mut arena = TraceArena::new();
+                wave.run_budgeted_in(
+                    &inputs,
+                    &mut arena,
+                    &RunBudget::UNLIMITED.with_max_events(events),
+                )
+                .unwrap_or_else(|e| {
+                    panic!("{file}: exact event budget at {workers}w/{cutover}: {e}")
+                });
+                assert!(
+                    matches!(
+                        wave.run_budgeted_in(
+                            &inputs,
+                            &mut arena,
+                            &RunBudget::UNLIMITED.with_max_events(events - 1),
+                        ),
+                        Err(SimError::BudgetExceeded { .. })
+                    ),
+                    "{file}: one-less event budget must trip at {workers}w/{cutover}"
+                );
+                wave.run_budgeted_in(
+                    &inputs,
+                    &mut arena,
+                    &RunBudget::UNLIMITED.with_max_edges(edges),
+                )
+                .unwrap_or_else(|e| {
+                    panic!("{file}: exact edge budget at {workers}w/{cutover}: {e}")
+                });
+                assert!(
+                    matches!(
+                        wave.run_budgeted_in(
+                            &inputs,
+                            &mut arena,
+                            &RunBudget::UNLIMITED.with_max_edges(edges - 1),
+                        ),
+                        Err(SimError::BudgetExceeded { .. })
+                    ),
+                    "{file}: one-less edge budget must trip at {workers}w/{cutover}"
+                );
+            }
         }
     }
 }

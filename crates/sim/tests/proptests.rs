@@ -1,7 +1,8 @@
 //! Property-based tests for the `mis-sim` subsystem: bit-identity of the
-//! event-queue engine **and of the parallel per-cone engine at worker
-//! counts 1–8** against `Network::run` (on every `mis_digital::netlists`
-//! topology and on randomized DAGs over all channel kinds, empty traces
+//! event-queue engine **and of the parallel per-cone and level-sliced
+//! wavefront engines at worker counts 1–8** against `Network::run` (on
+//! every `mis_digital::netlists` topology and on randomized DAGs over
+//! all channel kinds, empty traces
 //! included), `.bench` parse→write→parse round trips with comment/
 //! whitespace/CRLF/BOM torture, one malformed-input test per parser
 //! error variant, and round trips of the committed `data/charlib` text
@@ -20,6 +21,7 @@ use mis_digital::{
 };
 use mis_sim::{
     BenchError, BenchFunc, BenchGate, BenchNetlist, CellLibrary, ParallelSimulator, Simulator,
+    WavefrontSimulator,
 };
 use mis_testkit::prelude::*;
 use mis_testkit::rng::TestRng;
@@ -60,8 +62,9 @@ fn grid_trace(rng: &mut TestRng, max_edges: u64) -> DigitalTrace {
     trace
 }
 
-/// Asserts the event engine — and the parallel per-cone engine at two
-/// worker counts — reproduces `Network::run` bit for bit on `net`,
+/// Asserts the event engine — and the parallel per-cone and wavefront
+/// engines at two worker counts (the wavefront at both serial-tail
+/// extremes too) — reproduces `Network::run` bit for bit on `net`,
 /// including a second run on the warm arena (reuse contract).
 fn assert_engine_matches(net: &Network, inputs: &[DigitalTrace]) {
     let want = net.run(inputs).expect("reference run");
@@ -85,6 +88,19 @@ fn assert_engine_matches(net: &Network, inputs: &[DigitalTrace]) {
         let mut par = ParallelSimulator::new(net, workers).expect("partitioning");
         let got = par.run(inputs).expect("parallel run");
         assert_eq!(got, want, "parallel engine, {workers} workers");
+        // The wavefront engine must agree wherever the cutover lands:
+        // 0 sends every gate front to the workers, `usize::MAX` keeps
+        // everything on the coordinator's serial tail.
+        for cutover in [0, usize::MAX] {
+            let mut wave = WavefrontSimulator::new(net, workers)
+                .expect("levelization")
+                .with_cutover(cutover);
+            let got = wave.run(inputs).expect("wavefront run");
+            assert_eq!(
+                got, want,
+                "wavefront engine, {workers} workers, cutover {cutover}"
+            );
+        }
     }
 }
 
@@ -264,6 +280,75 @@ fn parallel_engine_every_worker_count_on_one_seed() {
     for workers in 1..=8 {
         let mut par = ParallelSimulator::new(&net, workers).unwrap();
         assert_eq!(par.run(&inputs).unwrap(), want, "{workers} workers");
+    }
+}
+
+#[test]
+fn wavefront_engine_bit_identical_at_worker_counts_1_through_8() {
+    // The level slicing, the chunk boundaries and the serial-tail
+    // cutover must all be invisible: for any acyclic wiring, any channel
+    // kind, any worker count and any cutover, the merged fronts equal
+    // the serial engines bit for bit — empty traces and
+    // exactly-simultaneous edges included.
+    Config::with_cases(CASES).run(&(0u64..u64::MAX), |&seed| {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let net = random_network(&mut rng);
+        let inputs: Vec<DigitalTrace> = (0..net.input_count())
+            .map(|_| grid_trace(&mut rng, 8))
+            .collect();
+        let want = net.run(&inputs).unwrap();
+        let workers = 1 + (seed % 8) as usize;
+        let cutover = [0, 2, usize::MAX][(seed / 8 % 3) as usize];
+        let mut wave = WavefrontSimulator::new(&net, workers)
+            .unwrap()
+            .with_cutover(cutover);
+        let got = wave.run(&inputs).unwrap();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                g,
+                w,
+                "signal {i} diverged ({workers} workers, cutover {cutover}, seed {seed})"
+            );
+        }
+        // The schedule is exactly-once at every shape.
+        prop_assert_eq!(
+            wave.worker_loads().iter().sum::<usize>(),
+            net.signal_count()
+        );
+        // Warm rerun into a reused arena (the reuse contract).
+        let mut arena = TraceArena::new();
+        wave.run_in(&inputs, &mut arena).unwrap();
+        wave.run_in(&inputs, &mut arena).unwrap();
+        for (i, w) in want.iter().enumerate() {
+            let id = net.signal_id(i).unwrap();
+            prop_assert_eq!(&wave.trace(&arena, id).to_trace(), w, "warm signal {i}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn wavefront_engine_every_worker_count_on_one_seed() {
+    // Full 1..=8 sweep at both cutover extremes on a fixed circuit, so a
+    // worker-count- or cutover-specific regression cannot hide behind
+    // seed sampling.
+    let mut rng = TestRng::seed_from_u64(0x1D1E);
+    let net = random_network(&mut rng);
+    let inputs: Vec<DigitalTrace> = (0..net.input_count())
+        .map(|_| grid_trace(&mut rng, 10))
+        .collect();
+    let want = net.run(&inputs).unwrap();
+    for workers in 1..=8 {
+        for cutover in [0, usize::MAX] {
+            let mut wave = WavefrontSimulator::new(&net, workers)
+                .unwrap()
+                .with_cutover(cutover);
+            assert_eq!(
+                wave.run(&inputs).unwrap(),
+                want,
+                "{workers} workers, cutover {cutover}"
+            );
+        }
     }
 }
 
@@ -795,6 +880,40 @@ fn c880_partition_is_covering_balanced_and_moderately_redundant() {
             max / n as f64 <= 0.92,
             "{workers} workers: critical worker evaluates {max}/{n} of the circuit"
         );
+    }
+}
+
+#[test]
+fn wavefront_schedule_is_exactly_once_on_the_committed_fixtures() {
+    // The level-sliced schedule never replicates work: on every
+    // committed fixture, at every worker count and cutover, the
+    // per-worker loads partition the signal set (contrast with the
+    // per-cone engine's cone-overlap redundancy above).
+    for file in [
+        "data/bench/c17.bench",
+        "data/bench/c432.bench",
+        "data/bench/c880.bench",
+    ] {
+        let text = std::fs::read_to_string(workspace_root().join(file)).unwrap();
+        let nl = BenchNetlist::parse(&text).unwrap();
+        let lowered = nl.lower(&CellLibrary::ideal()).unwrap();
+        let n = lowered.net.signal_count();
+        for workers in [1usize, 2, 4, 8] {
+            for cutover in [0usize, mis_sim::wavefront::DEFAULT_CUTOVER, usize::MAX] {
+                let wave = WavefrontSimulator::new(&lowered.net, workers)
+                    .unwrap()
+                    .with_cutover(cutover);
+                assert_eq!(
+                    wave.worker_loads().iter().sum::<usize>(),
+                    n,
+                    "{file}: {workers} workers, cutover {cutover}"
+                );
+                assert!(
+                    (wave.replication_factor() - 1.0).abs() < f64::EPSILON,
+                    "{file}: replication must be exactly 1.0"
+                );
+            }
+        }
     }
 }
 
